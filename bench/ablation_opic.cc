@@ -1,0 +1,57 @@
+// Related-work comparison: OPIC (Abiteboul et al., the storage-efficient
+// online importance computation the paper discusses in Section 2.2) vs
+// centralized PageRank. Reports the importance error as a function of the
+// visit budget, and contrasts OPIC's centralized-bookkeeping model with
+// JXP's fully decentralized one.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/error.h"
+#include "pagerank/opic.h"
+
+namespace jxp {
+namespace bench {
+
+void Run(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  const datasets::Collection collection = MakeCollection("amazon", config);
+  PrintHeader("Related work: OPIC convergence vs visit budget (Amazon)", collection,
+              config);
+
+  pagerank::PageRankOptions pr_options;
+  pr_options.tolerance = 1e-12;
+  const pagerank::PageRankResult truth =
+      ComputePageRank(collection.data.graph, pr_options);
+  const auto top = metrics::TopK(std::span<const double>(truth.scores), config.top_k);
+
+  std::printf("policy\tvisits_per_page\tfootrule\tlinear_error\n");
+  for (const auto policy :
+       {pagerank::OpicOptions::Policy::kGreedy, pagerank::OpicOptions::Policy::kRandom}) {
+    for (const size_t visits_per_page : {2u, 8u, 32u, 128u}) {
+      pagerank::OpicOptions options;
+      options.policy = policy;
+      options.num_visits = visits_per_page * collection.data.graph.NumNodes();
+      Random rng(config.seed);
+      const pagerank::OpicResult opic =
+          ComputeOpic(collection.data.graph, options, rng);
+      std::unordered_map<uint32_t, double> map;
+      for (uint32_t p = 0; p < opic.importance.size(); ++p) map[p] = opic.importance[p];
+      const auto opic_top = metrics::TopK(map, config.top_k);
+      std::printf("%s\t%zu\t%.6f\t%.8g\n",
+                  policy == pagerank::OpicOptions::Policy::kGreedy ? "greedy" : "random",
+                  visits_per_page, metrics::SpearmanFootrule(opic_top, top),
+                  metrics::LinearScoreError(top, map));
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace jxp
+
+int main(int argc, char** argv) {
+  jxp::bench::Run(argc, argv);
+  return 0;
+}

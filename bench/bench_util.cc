@@ -1,0 +1,99 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace jxp {
+namespace bench {
+
+BenchConfig BenchConfig::FromFlags(int argc, char** argv) {
+  Flags flags;
+  JXP_CHECK_OK(flags.Parse(argc, argv));
+  BenchConfig config;
+  config.amazon_scale = flags.GetDouble("amazon-scale", config.amazon_scale);
+  config.web_scale = flags.GetDouble("web-scale", config.web_scale);
+  // --scale overrides both (e.g. --scale=1 for paper-sized collections).
+  if (flags.Has("scale")) {
+    config.amazon_scale = flags.GetDouble("scale", 1.0);
+    config.web_scale = flags.GetDouble("scale", 1.0);
+  }
+  config.peers_per_category =
+      static_cast<size_t>(flags.GetInt("peers-per-category",
+                                       static_cast<int64_t>(config.peers_per_category)));
+  config.meetings = static_cast<size_t>(
+      flags.GetInt("meetings", static_cast<int64_t>(config.meetings)));
+  config.eval_every = static_cast<size_t>(
+      flags.GetInt("eval-every", static_cast<int64_t>(config.eval_every)));
+  config.top_k =
+      static_cast<size_t>(flags.GetInt("topk", static_cast<int64_t>(config.top_k)));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int64_t>(config.seed)));
+  return config;
+}
+
+datasets::Collection MakeCollection(const std::string& name, const BenchConfig& config) {
+  if (name == "amazon") return datasets::MakeAmazonLike(config.amazon_scale, config.seed);
+  JXP_CHECK(name == "webcrawl") << "unknown collection " << name;
+  return datasets::MakeWebCrawlLike(config.web_scale, config.seed);
+}
+
+std::vector<std::vector<graph::PageId>> PaperPartition(
+    const datasets::Collection& collection, const BenchConfig& config, uint64_t seed) {
+  Random rng(seed);
+  crawler::PartitionOptions options;
+  options.peers_per_category = config.peers_per_category;
+  const size_t num_peers =
+      config.peers_per_category * collection.data.num_categories;
+  // ~3x total overlap across the network, as autonomous crawls of popular
+  // regions produce, with widely varying per-peer crawl capacities (the
+  // paper's peers span a ~20x size range, Table 1).
+  options.crawler.max_pages =
+      std::max<size_t>(20, collection.data.graph.NumNodes() * 3 / num_peers);
+  options.crawler.max_depth = 8;
+  options.budget_spread = 5.0;
+  return CrawlBasedPartition(collection.data, options, rng);
+}
+
+core::JxpOptions BenchJxpOptions() {
+  core::JxpOptions options;
+  options.damping = 0.85;
+  options.pr_tolerance = 1e-11;
+  options.pr_max_iterations = 300;
+  return options;
+}
+
+void PrintHeader(const std::string& title, const datasets::Collection& collection,
+                 const BenchConfig& config) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("# collection=%s pages=%zu links=%zu peers=%zu seed=%llu\n",
+              collection.name.c_str(), collection.data.graph.NumNodes(),
+              collection.data.graph.NumEdges(),
+              config.peers_per_category * collection.data.num_categories,
+              static_cast<unsigned long long>(config.seed));
+}
+
+void PrintRow(const std::vector<double>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::printf(i == 0 ? "%g" : "\t%g", values[i]);
+  }
+  std::printf("\n");
+}
+
+void RunConvergenceSeries(core::JxpSimulation& sim, const BenchConfig& config,
+                          const std::string& label) {
+  const core::AccuracyPoint start = sim.Evaluate();
+  std::printf("%s\t0\t%.6f\t%.8g\n", label.c_str(), start.footrule, start.linear_error);
+  std::fflush(stdout);
+  while (sim.meetings_done() < config.meetings) {
+    const size_t batch =
+        std::min(config.eval_every, config.meetings - sim.meetings_done());
+    sim.RunMeetings(batch);
+    const core::AccuracyPoint point = sim.Evaluate();
+    std::printf("%s\t%zu\t%.6f\t%.8g\n", label.c_str(), sim.meetings_done(),
+                point.footrule, point.linear_error);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace bench
+}  // namespace jxp

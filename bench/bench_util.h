@@ -1,0 +1,64 @@
+#ifndef JXP_BENCH_BENCH_UTIL_H_
+#define JXP_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/simulation.h"
+#include "crawler/partitioner.h"
+#include "datasets/collections.h"
+
+namespace jxp {
+namespace bench {
+
+/// Common knobs of the paper-reproduction benches. Every bench binary runs
+/// with reduced defaults (so the whole suite finishes in minutes on one
+/// core) and accepts flags to go to paper scale:
+///   --scale=1.0 --peers-per-category=10 --meetings=3000 --seed=7 ...
+struct BenchConfig {
+  /// Collection size multiplier (1.0 = the paper's collection sizes).
+  double amazon_scale = 0.12;
+  double web_scale = 0.05;
+  /// Network shape (paper: 10 peers per category = 100 peers).
+  size_t peers_per_category = 10;
+  /// Meetings to simulate and evaluation cadence.
+  size_t meetings = 1500;
+  size_t eval_every = 100;
+  /// Top-k compared (paper: 1000; Figure 9 uses 10000).
+  size_t top_k = 1000;
+  uint64_t seed = 7;
+
+  /// Parses the standard flags; unknown flags abort.
+  static BenchConfig FromFlags(int argc, char** argv);
+};
+
+/// Builds a collection by name ("amazon" or "webcrawl") at the configured
+/// scale.
+datasets::Collection MakeCollection(const std::string& name, const BenchConfig& config);
+
+/// The paper's Section 6.1 peer assignment: thematic crawls with
+/// peers_per_category crawlers per category, with a crawl budget
+/// proportional to the collection size (fragments overlap ~3x).
+std::vector<std::vector<graph::PageId>> PaperPartition(
+    const datasets::Collection& collection, const BenchConfig& config, uint64_t seed);
+
+/// JXP options used by the benches: the paper's epsilon = 0.85 and a
+/// tolerance tight enough for the error metrics yet fast.
+core::JxpOptions BenchJxpOptions();
+
+/// Prints "k v1 v2 ..." rows; helpers to keep bench output uniform.
+void PrintHeader(const std::string& title, const datasets::Collection& collection,
+                 const BenchConfig& config);
+void PrintRow(const std::vector<double>& values);
+
+/// Runs `sim` for config.meetings meetings, evaluating every
+/// config.eval_every; prints "meetings footrule linear_error" rows with the
+/// given label column.
+void RunConvergenceSeries(core::JxpSimulation& sim, const BenchConfig& config,
+                          const std::string& label);
+
+}  // namespace bench
+}  // namespace jxp
+
+#endif  // JXP_BENCH_BENCH_UTIL_H_

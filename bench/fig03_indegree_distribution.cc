@@ -1,0 +1,39 @@
+// Figure 3: in-degree distributions (log-log) of the two collections.
+// The paper shows both are close to a power law; this bench prints the
+// log-binned distribution and the MLE exponent for each collection.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "graph/stats.h"
+
+namespace jxp {
+namespace bench {
+
+void Run(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  for (const char* name : {"amazon", "webcrawl"}) {
+    const datasets::Collection collection = MakeCollection(name, config);
+    PrintHeader(std::string("Figure 3: in-degree distribution (") + name + ")",
+                collection, config);
+    const auto histogram =
+        DegreeHistogram(collection.data.graph, graph::DegreeKind::kIn);
+    std::printf("indegree\tnum_pages\n");
+    for (const auto& [degree, count] : graph::LogBinnedHistogram(histogram, 5)) {
+      std::printf("%.2f\t%.0f\n", degree, count);
+    }
+    std::printf("# power-law exponent (MLE, xmin=4): %.3f\n",
+                graph::PowerLawExponentMle(histogram, 4));
+    std::printf("# dangling pages: %zu, largest WCC fraction: %.3f\n\n",
+                graph::CountDangling(collection.data.graph),
+                graph::LargestWccFraction(collection.data.graph));
+  }
+}
+
+}  // namespace bench
+}  // namespace jxp
+
+int main(int argc, char** argv) {
+  jxp::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 12: per-peer message size (KBytes) at each of a peer's meetings —
+// quartiles across peers — with and without the pre-meetings strategy,
+// Web-crawl collection. Same shape as Figure 11, at larger absolute sizes
+// (denser graph => more links per message).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/summary.h"
+
+namespace jxp {
+namespace bench {
+
+namespace {
+
+void PrintMessageSizeSeries(const core::JxpSimulation& sim, const char* label,
+                            size_t max_meetings_per_peer) {
+  for (size_t m = 0; m < max_meetings_per_peer; ++m) {
+    std::vector<double> kbytes;
+    for (p2p::PeerId p = 0; p < sim.network().NumPeers(); ++p) {
+      const auto& series = sim.network().TrafficOf(p).bytes_per_meeting;
+      if (m < series.size()) kbytes.push_back(series[m] / 1024.0);
+    }
+    if (kbytes.size() < 4) break;
+    const metrics::Summary s = metrics::Summarize(kbytes);
+    std::printf("%s\t%zu\t%.1f\t%.1f\t%.1f\t%zu\n", label, m + 1, s.q1, s.median, s.q3,
+                s.count);
+  }
+}
+
+}  // namespace
+
+void Run(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  const datasets::Collection collection = MakeCollection("webcrawl", config);
+  PrintHeader("Figure 12: message size per meeting (Web crawl)", collection, config);
+  std::printf("series\tmeetings_per_peer\tq1_kb\tmedian_kb\tq3_kb\tpeers\n");
+  for (const core::SelectionStrategy strategy :
+       {core::SelectionStrategy::kRandom, core::SelectionStrategy::kPreMeetings}) {
+    core::SimulationConfig sim_config;
+    sim_config.jxp = BenchJxpOptions();
+    sim_config.strategy = strategy;
+    sim_config.seed = config.seed;
+    sim_config.eval_top_k = 100;
+    core::JxpSimulation sim(collection.data.graph,
+                            PaperPartition(collection, config, config.seed), sim_config);
+    sim.RunMeetings(config.meetings);
+    PrintMessageSizeSeries(sim,
+                           strategy == core::SelectionStrategy::kRandom
+                               ? "without_pre_meetings"
+                               : "with_pre_meetings",
+                           50);
+    std::printf("# total traffic: %.1f MB over %zu meetings\n",
+                sim.network().TotalTrafficBytes() / (1024.0 * 1024.0),
+                sim.meetings_done());
+  }
+}
+
+}  // namespace bench
+}  // namespace jxp
+
+int main(int argc, char** argv) {
+  jxp::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Microbenchmarks (google-benchmark) of the synopsis substrate: signature
+// construction and containment estimation for MIPs, Bloom filters, and FM
+// hash sketches.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "synopses/bloom.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/minwise.h"
+
+namespace jxp {
+namespace {
+
+std::vector<uint64_t> MakeKeys(size_t n) {
+  std::vector<uint64_t> keys(n);
+  Random rng(3);
+  for (auto& k : keys) k = rng.NextUint64();
+  return keys;
+}
+
+void BM_MinWiseSign(benchmark::State& state) {
+  const synopses::MinWiseFamily family(static_cast<size_t>(state.range(1)), 1);
+  const auto keys = MakeKeys(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family.Sign(std::span<const uint64_t>(keys)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MinWiseSign)->Args({1000, 64})->Args({1000, 256})->Args({10000, 64});
+
+void BM_MinWiseContainment(benchmark::State& state) {
+  const synopses::MinWiseFamily family(256, 1);
+  const auto k1 = MakeKeys(2000);
+  const auto k2 = MakeKeys(2000);
+  const auto a = family.Sign(std::span<const uint64_t>(k1));
+  const auto b = family.Sign(std::span<const uint64_t>(k2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateContainment(a, b));
+  }
+}
+BENCHMARK(BM_MinWiseContainment);
+
+void BM_BloomAdd(benchmark::State& state) {
+  const auto keys = MakeKeys(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    synopses::BloomFilter filter(16384, 4);
+    for (uint64_t k : keys) filter.Add(k);
+    benchmark::DoNotOptimize(filter.PopCount());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_BloomAdd)->Arg(1000)->Arg(10000);
+
+void BM_HashSketchAdd(benchmark::State& state) {
+  const auto keys = MakeKeys(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    synopses::HashSketch sketch(128);
+    for (uint64_t k : keys) sketch.Add(k);
+    benchmark::DoNotOptimize(sketch.EstimateCardinality());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HashSketchAdd)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace jxp
+
+BENCHMARK_MAIN();

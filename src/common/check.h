@@ -1,0 +1,60 @@
+#ifndef JXP_COMMON_CHECK_H_
+#define JXP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace jxp {
+namespace internal_check {
+
+/// Collects a failure message via operator<< and aborts on destruction.
+/// Used only through the JXP_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "JXP_CHECK failed: " << condition << " at " << file << ":" << line << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace jxp
+
+/// Aborts the process with a message when `condition` is false. Active in all
+/// build types: these guard invariants whose violation would corrupt results.
+#define JXP_CHECK(condition)                                                  \
+  if (condition) {                                                            \
+  } else                                                                      \
+    ::jxp::internal_check::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+#define JXP_CHECK_EQ(a, b) JXP_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define JXP_CHECK_NE(a, b) JXP_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define JXP_CHECK_LT(a, b) JXP_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define JXP_CHECK_LE(a, b) JXP_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define JXP_CHECK_GT(a, b) JXP_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define JXP_CHECK_GE(a, b) JXP_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+/// Checks that a Status-returning expression is OK.
+#define JXP_CHECK_OK(expr)                                           \
+  do {                                                               \
+    const ::jxp::Status _jxp_check_status = (expr);                  \
+    JXP_CHECK(_jxp_check_status.ok()) << _jxp_check_status.ToString(); \
+  } while (false)
+
+#endif  // JXP_COMMON_CHECK_H_

@@ -1,0 +1,37 @@
+#ifndef JXP_COMMON_HASH_H_
+#define JXP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace jxp {
+
+/// Finalizing 64-bit mixer (the MurmurHash3 fmix64 function). Maps any
+/// 64-bit key to a well-distributed 64-bit value; bijective.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines a hash with a new value, boost::hash_combine style but 64-bit.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// FNV-1a hash of a byte string; used for term/URL keys.
+inline uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace jxp
+
+#endif  // JXP_COMMON_HASH_H_

@@ -1,0 +1,106 @@
+#ifndef JXP_COMMON_STATUS_H_
+#define JXP_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace jxp {
+
+/// Canonical error codes, modeled after the usual database-library set
+/// (Arrow / RocksDB style). The library does not use exceptions; every
+/// fallible operation returns a Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status holds either success (OK) or an error code plus message.
+///
+/// The OK state is represented without allocation; error states carry a
+/// heap-allocated message. Status is cheap to move and to test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code with a
+  /// non-empty message is normalized to plain OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) { return Status(StatusCode::kIOError, std::move(msg)); }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace jxp
+
+/// Propagates an error Status from the evaluated expression, RocksDB-style.
+#define JXP_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::jxp::Status _jxp_status = (expr);           \
+    if (!_jxp_status.ok()) return _jxp_status;    \
+  } while (false)
+
+#endif  // JXP_COMMON_STATUS_H_

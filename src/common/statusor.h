@@ -1,0 +1,80 @@
+#ifndef JXP_COMMON_STATUSOR_H_
+#define JXP_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace jxp {
+
+/// StatusOr<T> holds either a value of type T or an error Status.
+///
+/// Accessing the value of an error-state StatusOr aborts the process (the
+/// library is exception-free); callers must test ok() or use
+/// JXP_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK: an OK status without a
+  /// value is a logic error.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    JXP_CHECK(!status_.ok()) << "StatusOr constructed from OK status without value";
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; abort if no value is present.
+  const T& value() const& {
+    JXP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    JXP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    JXP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace jxp
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// error from the enclosing function.
+#define JXP_ASSIGN_OR_RETURN(lhs, expr)                  \
+  JXP_ASSIGN_OR_RETURN_IMPL_(                            \
+      JXP_STATUS_MACRO_CONCAT_(_jxp_statusor, __LINE__), lhs, expr)
+
+#define JXP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define JXP_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define JXP_STATUS_MACRO_CONCAT_(x, y) JXP_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // JXP_COMMON_STATUSOR_H_

@@ -1,0 +1,57 @@
+#ifndef JXP_COMMON_TIMER_H_
+#define JXP_COMMON_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace jxp {
+
+/// Wall-clock stopwatch (steady clock).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed wall time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process-CPU-time stopwatch; used for Table 1 (merge CPU cost), matching
+/// the paper's "CPU time (in milliseconds)" measurement.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Now(); }
+
+  /// Elapsed CPU time in seconds.
+  double ElapsedSeconds() const { return Now() - start_; }
+
+  /// Elapsed CPU time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_;
+};
+
+}  // namespace jxp
+
+#endif  // JXP_COMMON_TIMER_H_

@@ -1,0 +1,123 @@
+#include "core/baselines.h"
+
+#include "common/check.h"
+#include "markov/power_iteration.h"
+#include "markov/sparse_matrix.h"
+
+namespace jxp {
+namespace core {
+
+namespace {
+
+/// Local PageRank per site over intra-site links only. Returns per-page
+/// scores, each site's block normalized to sum 1.
+std::vector<double> PerSiteLocalPageRank(const graph::Graph& global,
+                                         const std::vector<uint32_t>& site_of,
+                                         uint32_t num_sites,
+                                         const pagerank::PageRankOptions& options) {
+  JXP_CHECK_EQ(site_of.size(), global.NumNodes());
+  // Dense page -> site-local index mapping.
+  std::vector<uint32_t> local_index(global.NumNodes());
+  std::vector<std::vector<graph::PageId>> site_pages(num_sites);
+  for (graph::PageId p = 0; p < global.NumNodes(); ++p) {
+    JXP_CHECK_LT(site_of[p], num_sites);
+    local_index[p] = static_cast<uint32_t>(site_pages[site_of[p]].size());
+    site_pages[site_of[p]].push_back(p);
+  }
+
+  std::vector<double> scores(global.NumNodes(), 0.0);
+  for (uint32_t s = 0; s < num_sites; ++s) {
+    const std::vector<graph::PageId>& pages = site_pages[s];
+    if (pages.empty()) continue;
+    markov::SparseMatrixBuilder builder(pages.size());
+    for (uint32_t i = 0; i < pages.size(); ++i) {
+      const graph::PageId p = pages[i];
+      // Intra-site successors only; weights use the *local* out-degree, as
+      // the ServerRank-style methods do.
+      std::vector<uint32_t> local_successors;
+      for (graph::PageId q : global.OutNeighbors(p)) {
+        if (site_of[q] == s) local_successors.push_back(local_index[q]);
+      }
+      if (local_successors.empty()) continue;
+      const double w = 1.0 / static_cast<double>(local_successors.size());
+      for (uint32_t j : local_successors) builder.Add(i, j, w);
+    }
+    markov::PowerIterationOptions pi_options;
+    pi_options.damping = options.damping;
+    pi_options.tolerance = options.tolerance;
+    pi_options.max_iterations = options.max_iterations;
+    const markov::PowerIterationResult result =
+        StationaryDistribution(builder.Build(), pi_options);
+    for (uint32_t i = 0; i < pages.size(); ++i) scores[pages[i]] = result.distribution[i];
+  }
+  return scores;
+}
+
+}  // namespace
+
+std::vector<double> ServerRankScores(const graph::Graph& global,
+                                     const std::vector<uint32_t>& site_of,
+                                     uint32_t num_sites,
+                                     const pagerank::PageRankOptions& options) {
+  const std::vector<double> local =
+      PerSiteLocalPageRank(global, site_of, num_sites, options);
+
+  // Site-level graph: transition mass proportional to inter-site link
+  // counts (including intra-site links as self-loops).
+  std::vector<std::vector<double>> site_links(num_sites,
+                                              std::vector<double>(num_sites, 0.0));
+  std::vector<double> site_out(num_sites, 0.0);
+  for (graph::PageId p = 0; p < global.NumNodes(); ++p) {
+    for (graph::PageId q : global.OutNeighbors(p)) {
+      site_links[site_of[p]][site_of[q]] += 1.0;
+      site_out[site_of[p]] += 1.0;
+    }
+  }
+  markov::SparseMatrixBuilder builder(num_sites);
+  for (uint32_t s = 0; s < num_sites; ++s) {
+    if (site_out[s] == 0) continue;
+    for (uint32_t t = 0; t < num_sites; ++t) {
+      if (site_links[s][t] > 0) builder.Add(s, t, site_links[s][t] / site_out[s]);
+    }
+  }
+  markov::PowerIterationOptions pi_options;
+  pi_options.damping = options.damping;
+  pi_options.tolerance = options.tolerance;
+  pi_options.max_iterations = options.max_iterations;
+  const markov::PowerIterationResult site_rank =
+      StationaryDistribution(builder.Build(), pi_options);
+
+  // Combine: global(p) ~ local(p) * siteRank(site(p)); normalize.
+  std::vector<double> scores(global.NumNodes(), 0.0);
+  double total = 0;
+  for (graph::PageId p = 0; p < global.NumNodes(); ++p) {
+    scores[p] = local[p] * site_rank.distribution[site_of[p]];
+    total += scores[p];
+  }
+  JXP_CHECK_GT(total, 0.0);
+  for (double& s : scores) s /= total;
+  return scores;
+}
+
+std::vector<double> LocalOnlyScores(const graph::Graph& global,
+                                    const std::vector<uint32_t>& site_of,
+                                    uint32_t num_sites,
+                                    const pagerank::PageRankOptions& options) {
+  std::vector<double> scores = PerSiteLocalPageRank(global, site_of, num_sites, options);
+  // Weight each site by its page count (no site-level ranking at all).
+  std::vector<size_t> site_size(num_sites, 0);
+  for (uint32_t s : site_of) site_size[s]++;
+  double total = 0;
+  for (graph::PageId p = 0; p < global.NumNodes(); ++p) {
+    scores[p] *= static_cast<double>(site_size[site_of[p]]) /
+                 static_cast<double>(global.NumNodes());
+    total += scores[p];
+  }
+  if (total > 0) {
+    for (double& s : scores) s /= total;
+  }
+  return scores;
+}
+
+}  // namespace core
+}  // namespace jxp

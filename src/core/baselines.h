@@ -1,0 +1,46 @@
+#ifndef JXP_CORE_BASELINES_H_
+#define JXP_CORE_BASELINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pagerank/pagerank.h"
+
+namespace jxp {
+namespace core {
+
+/// Disjoint-partition distributed PageRank, the family of approaches JXP is
+/// contrasted with in Section 2.2 (Wang & DeWitt's ServerRank, Wu & Aberer's
+/// layered Markov model, Kamvar et al.'s BlockRank): it requires a
+/// *disjoint* assignment of pages to sites, which autonomous P2P crawlers
+/// cannot provide — the motivating limitation behind JXP.
+///
+/// The approximation works in three steps:
+///   1. each site runs PageRank over its intra-site links only;
+///   2. a site-level graph (one node per site, edge weights = number of
+///      inter-site links) is ranked with PageRank;
+///   3. the global score of page p at site s is approximated by
+///      localPR(p) * siteRank(s).
+///
+/// `site_of[p]` assigns page p to a site in [0, num_sites). Returns the
+/// approximate global scores (normalized to sum 1).
+std::vector<double> ServerRankScores(const graph::Graph& global,
+                                     const std::vector<uint32_t>& site_of,
+                                     uint32_t num_sites,
+                                     const pagerank::PageRankOptions& options);
+
+/// The no-collaboration baseline: every page is scored by PageRank over its
+/// site's intra-site links only, ignoring the rest of the Web (what a JXP
+/// peer would report if it never met anyone and did not model the world
+/// node). Scores are normalized per site by site size so the vector sums
+/// to 1.
+std::vector<double> LocalOnlyScores(const graph::Graph& global,
+                                    const std::vector<uint32_t>& site_of,
+                                    uint32_t num_sites,
+                                    const pagerank::PageRankOptions& options);
+
+}  // namespace core
+}  // namespace jxp
+
+#endif  // JXP_CORE_BASELINES_H_

@@ -1,0 +1,64 @@
+#ifndef JXP_CORE_EXTENDED_GRAPH_H_
+#define JXP_CORE_EXTENDED_GRAPH_H_
+
+#include <vector>
+
+#include "core/world_node.h"
+#include "graph/subgraph.h"
+#include "markov/sparse_matrix.h"
+
+namespace jxp {
+namespace core {
+
+/// How the world node's outgoing links are weighted (ablation A2 in
+/// DESIGN.md; the paper always uses score-proportional weights).
+enum class WorldLinkWeighting {
+  /// Paper Eq. 8: weight (1/out(r)) * alpha(r)/alpha_w per link.
+  kScoreProportional,
+  /// Strawman: ignore the learned scores; every known external in-linking
+  /// page is assumed to carry an equal share of the world mass.
+  kUniform,
+};
+
+/// The transition system of a peer's extended local graph G' = G + W
+/// (paper Section 5, Eqs. 5-10): n local states plus the world node as
+/// state n.
+struct ExtendedGraphSystem {
+  /// (n+1) x (n+1) link matrix. Local rows follow Eq. 6/7; the world row
+  /// follows Eq. 8/9. Dangling local pages have empty rows (their mass is
+  /// redistributed along `dangling`).
+  markov::SparseMatrix matrix;
+  /// Random-jump distribution (Eq. 10): 1/N per local page, (N-n)/N to the
+  /// world node.
+  std::vector<double> teleport;
+  /// Dangling-mass distribution: identical to teleport (a dangling page in
+  /// the global chain jumps uniformly over all N pages, of which n are
+  /// local).
+  std::vector<double> dangling;
+  /// True iff the world row's outgoing mass had to be clamped because the
+  /// stored external scores momentarily exceeded the world score (a
+  /// transient of the take-max combination; see JxpPeer).
+  bool world_row_clamped = false;
+};
+
+/// Builds the extended transition system of `fragment` + `world`:
+///
+/// - local page i with global out-degree d: weight 1/d per local successor;
+///   the external successors contribute weight (#external successors)/d to
+///   the world column (Eq. 7);
+/// - world row: for each known external in-linking page r with targets T and
+///   score alpha(r), weight (1/out(r)) * alpha(r)/world_score per target
+///   (Eq. 8); the self-loop absorbs the rest (Eq. 9);
+/// - teleport/dangling per Eq. 10 with `global_size` = N.
+///
+/// `world_score` is the peer's current world-node score (alpha_w at meeting
+/// t-1), which weights the world row.
+ExtendedGraphSystem BuildExtendedSystem(
+    const graph::Subgraph& fragment, const WorldNode& world, double world_score,
+    size_t global_size,
+    WorldLinkWeighting weighting = WorldLinkWeighting::kScoreProportional);
+
+}  // namespace core
+}  // namespace jxp
+
+#endif  // JXP_CORE_EXTENDED_GRAPH_H_

@@ -1,0 +1,505 @@
+#include "core/jxp_peer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/timer.h"
+#include "core/extended_graph.h"
+#include "markov/power_iteration.h"
+
+namespace jxp {
+namespace core {
+
+namespace {
+
+/// Numerical floor for the world score; Theorem 5.3 keeps the true value
+/// well above this, so the floor only guards against pathological inputs.
+constexpr double kWorldScoreFloor = 1e-12;
+
+/// Network-wide constants of the distributed page-count sketch; all peers
+/// must share them for sketch unions to be meaningful.
+constexpr size_t kPageSketchBuckets = 256;
+constexpr uint64_t kPageSketchSeed = 0x9a6e5c0117ULL;
+
+double CombineScores(CombineMode mode, double a, double b) {
+  return mode == CombineMode::kTakeMax ? std::max(a, b) : 0.5 * (a + b);
+}
+
+}  // namespace
+
+JxpPeer::JxpPeer(p2p::PeerId id, graph::Subgraph fragment, size_t global_size,
+                 const JxpOptions& options)
+    : id_(id),
+      fragment_(std::move(fragment)),
+      global_size_(global_size),
+      options_(options),
+      page_sketch_(kPageSketchBuckets, kPageSketchSeed) {
+  JXP_CHECK_GT(fragment_.NumLocalPages(), 0u) << "peer with empty fragment";
+  JXP_CHECK_GE(global_size_, fragment_.NumLocalPages());
+  SeedPageSketch();
+  RefreshGlobalSizeEstimate();
+  // Algorithm 1: uniform initial scores, then one local PR run.
+  scores_.assign(fragment_.NumLocalPages(), 1.0 / static_cast<double>(global_size_));
+  RunLocalPageRank();
+}
+
+JxpPeer::JxpPeer(p2p::PeerId id, graph::Subgraph fragment, size_t global_size,
+                 const JxpOptions& options, std::vector<double> scores, WorldNode world,
+                 double world_score)
+    : id_(id),
+      fragment_(std::move(fragment)),
+      global_size_(global_size),
+      options_(options),
+      scores_(std::move(scores)),
+      world_score_(world_score),
+      world_(std::move(world)),
+      page_sketch_(kPageSketchBuckets, kPageSketchSeed) {
+  JXP_CHECK_GT(fragment_.NumLocalPages(), 0u);
+  JXP_CHECK_EQ(scores_.size(), fragment_.NumLocalPages());
+  JXP_CHECK_GE(global_size_, fragment_.NumLocalPages());
+  JXP_CHECK_GT(world_score_, 0.0);
+  JXP_CHECK_LT(world_score_, 1.0);
+  SeedPageSketch();
+}
+
+void JxpPeer::SeedPageSketch() {
+  // A crawler knows its own pages plus every link target it saw; both count
+  // as distinct pages of the global graph.
+  for (graph::Subgraph::LocalIndex i = 0; i < fragment_.NumLocalPages(); ++i) {
+    page_sketch_.Add(fragment_.GlobalId(i));
+    for (graph::PageId successor : fragment_.Successors(i)) {
+      page_sketch_.Add(successor);
+    }
+  }
+}
+
+void JxpPeer::RefreshGlobalSizeEstimate() {
+  if (!options_.estimate_global_size) return;
+  const double estimate = page_sketch_.EstimateCardinality();
+  global_size_ = std::max<size_t>(fragment_.NumLocalPages() + 1,
+                                  static_cast<size_t>(estimate + 0.5));
+}
+
+double JxpPeer::ScoreOfGlobal(graph::PageId page) const {
+  const graph::Subgraph::LocalIndex i = fragment_.LocalIndexOf(page);
+  return i == graph::Subgraph::kNotLocal ? 0.0 : scores_[i];
+}
+
+MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner) {
+  JXP_CHECK_NE(initiator.id_, partner.id_) << "peer meeting itself";
+  JXP_CHECK(initiator.options_.merge_mode == partner.options_.merge_mode &&
+            initiator.options_.combine_mode == partner.options_.combine_mode)
+      << "meeting peers must share JXP options";
+  // Snapshot both messages first: the exchange is simultaneous, so each side
+  // must see the other's pre-meeting state.
+  PeerView initiator_view = initiator.MakeView();
+  PeerView partner_view = partner.MakeView();
+
+  MeetingOutcome outcome;
+  outcome.bytes_sent_initiator = initiator_view.wire_bytes;
+  outcome.bytes_sent_partner = partner_view.wire_bytes;
+  outcome.wire_bytes = initiator_view.wire_bytes + partner_view.wire_bytes;
+  outcome.cpu_millis_initiator = initiator.ProcessMeeting(partner_view);
+  outcome.pr_iterations_initiator = initiator.last_pr_iterations_;
+  outcome.cpu_millis_partner = partner.ProcessMeeting(initiator_view);
+  outcome.pr_iterations_partner = partner.last_pr_iterations_;
+  return outcome;
+}
+
+JxpPeer::PeerView JxpPeer::MakeView() const {
+  PeerView view;
+  view.fragment = &fragment_;
+  view.scores = scores_;
+  view.world = world_;
+  view.page_sketch = &page_sketch_;
+  view.wire_bytes = MessageWireBytes();
+  if (options_.estimate_global_size) {
+    view.wire_bytes += static_cast<double>(page_sketch_.SizeBytes());
+  }
+  // A cheating peer corrupts its outgoing message (Section 7's open
+  // problem; see AttackOptions).
+  switch (options_.attack.type) {
+    case AttackOptions::Type::kNone:
+      break;
+    case AttackOptions::Type::kScoreInflation: {
+      const double factor = options_.attack.inflation_factor;
+      for (double& s : view.scores) s *= factor;
+      view.world.ScaleScores(factor);
+      break;
+    }
+    case AttackOptions::Type::kRandomScores: {
+      Random noise(options_.attack.seed ^ (num_meetings_ * 0x9e3779b9ULL));
+      for (double& s : view.scores) s = noise.NextDouble();
+      break;
+    }
+  }
+  return view;
+}
+
+bool JxpPeer::ShouldRejectMessage(const PeerView& partner) const {
+  if (!options_.defense.enabled) return false;
+  // Mass test: an honest score list is part of a distribution.
+  double mass = 0;
+  for (double s : partner.scores) mass += s;
+  if (mass > options_.defense.max_reported_mass) return true;
+  // Overlap-divergence test: two honest peers' scores for a shared page are
+  // underestimates of the same PageRank and typically close, so the median
+  // |log(reported/own)| over the overlap is small; broad inflation and
+  // random noise both push it up. (Two-sided so that undervaluing garbage
+  // is caught as well.)
+  std::vector<double> divergences;
+  const graph::Subgraph& other = *partner.fragment;
+  for (graph::Subgraph::LocalIndex k = 0; k < other.NumLocalPages(); ++k) {
+    const graph::Subgraph::LocalIndex mine = fragment_.LocalIndexOf(other.GlobalId(k));
+    if (mine == graph::Subgraph::kNotLocal) continue;
+    if (scores_[mine] <= 0 || partner.scores[k] <= 0) {
+      divergences.push_back(std::numeric_limits<double>::infinity());
+      continue;
+    }
+    divergences.push_back(std::abs(std::log(partner.scores[k] / scores_[mine])));
+  }
+  if (divergences.size() < options_.defense.min_overlap_to_judge) return false;
+  std::nth_element(divergences.begin(), divergences.begin() + divergences.size() / 2,
+                   divergences.end());
+  const double median = divergences[divergences.size() / 2];
+  return median > std::log(options_.defense.max_overlap_divergence);
+}
+
+double JxpPeer::ProcessMeeting(const PeerView& partner) {
+  CpuTimer timer;
+  if (ShouldRejectMessage(partner)) {
+    ++num_meetings_;
+    ++rejected_meetings_;
+    meeting_cpu_millis_.push_back(timer.ElapsedMillis());
+    world_score_history_.push_back(world_score_);
+    return meeting_cpu_millis_.back();
+  }
+  if (options_.estimate_global_size && partner.page_sketch != nullptr) {
+    page_sketch_.UnionWith(*partner.page_sketch);
+    RefreshGlobalSizeEstimate();
+  }
+  if (options_.merge_mode == MergeMode::kLightWeight) {
+    ProcessLightWeight(partner);
+  } else {
+    ProcessFullMerge(partner);
+  }
+  const double millis = timer.ElapsedMillis();
+  ++num_meetings_;
+  meeting_cpu_millis_.push_back(millis);
+  world_score_history_.push_back(world_score_);
+  return millis;
+}
+
+bool JxpPeer::HasLocallyConverged(size_t window, double tolerance) const {
+  JXP_CHECK_GT(window, 0u);
+  JXP_CHECK_GE(tolerance, 0.0);
+  if (world_score_history_.size() < window) return false;
+  const double oldest = world_score_history_[world_score_history_.size() - window];
+  return std::abs(oldest - world_score_) <= tolerance;
+}
+
+void JxpPeer::CombineLocalScore(graph::Subgraph::LocalIndex i, double reported) {
+  scores_[i] = CombineScores(options_.combine_mode, scores_[i], reported);
+}
+
+void JxpPeer::ProcessLightWeight(const PeerView& partner) {
+  const graph::Subgraph& other = *partner.fragment;
+  // Fold the partner's local pages into our view: overlapping pages combine
+  // score lists; external pages that link into our fragment enter the world
+  // node with their out-degree, score, and the in-links they contribute.
+  std::vector<graph::PageId> targets;
+  for (graph::Subgraph::LocalIndex k = 0; k < other.NumLocalPages(); ++k) {
+    const graph::PageId page = other.GlobalId(k);
+    const double reported = partner.scores[k];
+    const graph::Subgraph::LocalIndex mine = fragment_.LocalIndexOf(page);
+    if (mine != graph::Subgraph::kNotLocal) {
+      CombineLocalScore(mine, reported);
+      continue;
+    }
+    if (other.GlobalOutDegree(k) == 0) {
+      // External dangling page: its mass reaches us via the uniform
+      // redistribution, which the world row models in aggregate.
+      world_.ObserveDangling(page, reported, options_.combine_mode,
+                             options_.authoritative_refresh);
+      continue;
+    }
+    targets.clear();
+    for (graph::PageId successor : other.Successors(k)) {
+      if (fragment_.Contains(successor)) targets.push_back(successor);
+    }
+    if (!targets.empty()) {
+      world_.Observe(page, static_cast<uint32_t>(other.GlobalOutDegree(k)), reported,
+                     targets, options_.combine_mode, options_.authoritative_refresh);
+    }
+  }
+  // Fold the partner's world node: entries about our own pages refresh our
+  // score list; entries about external pages that link into our fragment
+  // extend our world node (the "union of the links represented in them").
+  for (const auto& [page, info] : partner.world.entries()) {
+    const graph::Subgraph::LocalIndex mine = fragment_.LocalIndexOf(page);
+    if (mine != graph::Subgraph::kNotLocal) {
+      CombineLocalScore(mine, info.score);
+      continue;
+    }
+    targets.clear();
+    for (graph::PageId target : info.targets) {
+      if (fragment_.Contains(target)) targets.push_back(target);
+    }
+    if (!targets.empty()) {
+      world_.Observe(page, info.out_degree, info.score, targets, options_.combine_mode);
+    }
+  }
+  for (const auto& [page, score] : partner.world.dangling_scores()) {
+    const graph::Subgraph::LocalIndex mine = fragment_.LocalIndexOf(page);
+    if (mine != graph::Subgraph::kNotLocal) {
+      CombineLocalScore(mine, score);
+    } else {
+      world_.ObserveDangling(page, score, options_.combine_mode);
+    }
+  }
+  RunLocalPageRank();
+}
+
+void JxpPeer::ProcessFullMerge(const PeerView& partner) {
+  const graph::Subgraph& other = *partner.fragment;
+  // Merged graph G_M = union of the two fragments with full out-link
+  // knowledge; merged score list L_M combines overlapping pages.
+  graph::Subgraph merged = graph::Subgraph::Merge(fragment_, other);
+  const size_t m = merged.NumLocalPages();
+  std::vector<double> merged_scores(m, 0.0);
+  for (graph::Subgraph::LocalIndex i = 0; i < fragment_.NumLocalPages(); ++i) {
+    merged_scores[merged.LocalIndexOf(fragment_.GlobalId(i))] = scores_[i];
+  }
+  for (graph::Subgraph::LocalIndex k = 0; k < other.NumLocalPages(); ++k) {
+    const graph::Subgraph::LocalIndex mi = merged.LocalIndexOf(other.GlobalId(k));
+    if (fragment_.Contains(other.GlobalId(k))) {
+      merged_scores[mi] =
+          CombineScores(options_.combine_mode, merged_scores[mi], partner.scores[k]);
+    } else {
+      merged_scores[mi] = partner.scores[k];
+    }
+  }
+
+  // Merged world node W_M: union of both world nodes minus links that became
+  // explicit in G_M (paper: T_M = (T_A ∪ T_B) − E_M; entries whose source
+  // page is itself in V_M are dropped because those links are now edges).
+  WorldNode merged_world;
+  const auto absorb_world = [&](const WorldNode& w) {
+    for (const auto& [page, info] : w.entries()) {
+      if (merged.Contains(page)) continue;
+      merged_world.Observe(page, info.out_degree, info.score, info.targets,
+                           options_.combine_mode);
+    }
+    for (const auto& [page, score] : w.dangling_scores()) {
+      if (merged.Contains(page)) continue;
+      merged_world.ObserveDangling(page, score, options_.combine_mode);
+    }
+  };
+  absorb_world(world_);
+  absorb_world(partner.world);
+
+  // World-node score per Eq. 1, then PageRank on G_M + W_M, with the same
+  // self-consistent-denominator guard as RunLocalPageRank.
+  double local_mass = 0;
+  for (double s : merged_scores) local_mass += s;
+  double denominator = std::max(1.0 - local_mass, kWorldScoreFloor);
+  std::vector<double> init = merged_scores;
+  init.push_back(denominator);
+  markov::PowerIterationOptions pi_options;
+  pi_options.damping = options_.damping;
+  pi_options.tolerance = options_.pr_tolerance;
+  pi_options.max_iterations = options_.pr_max_iterations;
+  markov::PowerIterationResult result;
+  int total_iterations = 0;
+  for (int guard = 0; guard < 64; ++guard) {
+    ExtendedGraphSystem system =
+        BuildExtendedSystem(merged, merged_world, denominator, global_size_,
+                            options_.uniform_world_links
+                                ? WorldLinkWeighting::kUniform
+                                : WorldLinkWeighting::kScoreProportional);
+    ever_clamped_world_row_ |= system.world_row_clamped;
+    result = StationaryDistribution(system.matrix, system.teleport, system.dangling,
+                                    init, pi_options);
+    total_iterations += result.iterations;
+    if (result.distribution[m] <= denominator + 1e-13) break;
+    denominator = result.distribution[m];
+    init = result.distribution;
+  }
+  last_pr_iterations_ = total_iterations;
+  const double pr_world = result.distribution[m];
+  // Score update: Eq. 2 re-weights external (world-node) scores in the
+  // baseline mode; Eq. 3 leaves them unchanged in take-max mode.
+  if (options_.combine_mode == CombineMode::kAverage) {
+    merged_world.ScaleScores(pr_world / denominator);
+  }
+
+  // Project back onto our fragment (the disconnect step of Figure 1):
+  // local scores from the merged result ...
+  for (graph::Subgraph::LocalIndex i = 0; i < fragment_.NumLocalPages(); ++i) {
+    scores_[i] = result.distribution[merged.LocalIndexOf(fragment_.GlobalId(i))];
+  }
+  // ... and a new world node: W_M's links into V_A, plus the partner's pages
+  // (E_B links) that point into V_A, now valued at their merged PR scores.
+  WorldNode new_world;
+  std::vector<graph::PageId> targets;
+  for (const auto& [page, info] : merged_world.entries()) {
+    targets.clear();
+    for (graph::PageId t : info.targets) {
+      if (fragment_.Contains(t)) targets.push_back(t);
+    }
+    if (!targets.empty()) {
+      new_world.Observe(page, info.out_degree, info.score, targets, options_.combine_mode);
+    }
+  }
+  for (const auto& [page, score] : merged_world.dangling_scores()) {
+    new_world.ObserveDangling(page, score, options_.combine_mode);
+  }
+  for (graph::Subgraph::LocalIndex k = 0; k < other.NumLocalPages(); ++k) {
+    const graph::PageId page = other.GlobalId(k);
+    if (fragment_.Contains(page)) continue;
+    const double score = result.distribution[merged.LocalIndexOf(page)];
+    if (other.GlobalOutDegree(k) == 0) {
+      new_world.ObserveDangling(page, score, options_.combine_mode,
+                                options_.authoritative_refresh);
+      continue;
+    }
+    targets.clear();
+    for (graph::PageId successor : other.Successors(k)) {
+      if (fragment_.Contains(successor)) targets.push_back(successor);
+    }
+    if (!targets.empty()) {
+      new_world.Observe(page, static_cast<uint32_t>(other.GlobalOutDegree(k)), score,
+                        targets, options_.combine_mode, options_.authoritative_refresh);
+    }
+  }
+  world_ = std::move(new_world);
+  // The world node again represents *everything* outside V_A (including the
+  // partner's pages), so its score is the complement of the local mass.
+  double my_mass = 0;
+  for (double s : scores_) my_mass += s;
+  world_score_ = std::max(1.0 - my_mass, kWorldScoreFloor);
+}
+
+void JxpPeer::RunLocalPageRank() {
+  const size_t n = fragment_.NumLocalPages();
+  // The world row's weights are alpha(r)/alpha_w^{t-1} (Eq. 8). Using the
+  // *previous run's* world score as the denominator — not the post-combine
+  // complement 1 - sum(scores), which the take-max combination can push
+  // below it — keeps the row's flow per entry at most alpha(r)/out(r).
+  //
+  // One subtlety the paper's proof glosses over: safety (Theorem 5.3) needs
+  // the run's *resulting* world score to stay <= the denominator, otherwise
+  // the realized flow alpha_w^t * p_wi exceeds alpha(r)/out(r) and scores
+  // can transiently overestimate the true PageRank. We therefore iterate to
+  // a self-consistent denominator: if the result exceeds it, re-run with
+  // the larger value (the map D -> alpha_w(D) is increasing and bounded by
+  // 1, so this converges; in the normal monotone regime the first run
+  // already satisfies the condition and the loop body executes once).
+  double denominator = std::max(world_score_, kWorldScoreFloor);
+  double local_mass = 0;
+  for (double s : scores_) local_mass += s;
+  std::vector<double> init = scores_;
+  init.push_back(std::max(1.0 - local_mass, kWorldScoreFloor));
+
+  markov::PowerIterationOptions pi_options;
+  pi_options.damping = options_.damping;
+  pi_options.tolerance = options_.pr_tolerance;
+  pi_options.max_iterations = options_.pr_max_iterations;
+
+  markov::PowerIterationResult result;
+  int total_iterations = 0;
+  for (int guard = 0; guard < 64; ++guard) {
+    ExtendedGraphSystem system =
+        BuildExtendedSystem(fragment_, world_, denominator, global_size_,
+                            options_.uniform_world_links
+                                ? WorldLinkWeighting::kUniform
+                                : WorldLinkWeighting::kScoreProportional);
+    ever_clamped_world_row_ |= system.world_row_clamped;
+    result = StationaryDistribution(system.matrix, system.teleport, system.dangling,
+                                    init, pi_options);
+    total_iterations += result.iterations;
+    const double pr_world = result.distribution[n];
+    if (pr_world <= denominator + 1e-13) break;
+    denominator = pr_world;
+    init = result.distribution;  // Warm start for the re-run.
+  }
+  last_pr_iterations_ = total_iterations;
+
+  const double pr_world = result.distribution[n];
+  if (options_.combine_mode == CombineMode::kAverage) {
+    // Eq. 2: external scores are re-weighted by PR(W)/L(W).
+    world_.ScaleScores(pr_world / denominator);
+  }
+  scores_.assign(result.distribution.begin(), result.distribution.begin() + n);
+  world_score_ = pr_world;
+}
+
+double JxpPeer::MessageWireBytes() const {
+  // Page table: id (8) + out-degree (4) + score (8) per local page;
+  // successor lists: 8 per link; world node entries as WorldNode::WireBytes.
+  const double page_bytes = static_cast<double>(fragment_.NumLocalPages()) * (8 + 4 + 8);
+  const double link_bytes = static_cast<double>(fragment_.NumLocalEdges() +
+                                                fragment_.NumExternalOutEdges()) * 8;
+  return page_bytes + link_bytes + world_.WireBytes();
+}
+
+void JxpPeer::ReplaceFragment(graph::Subgraph fragment) {
+  JXP_CHECK_GT(fragment.NumLocalPages(), 0u);
+  std::vector<double> new_scores(fragment.NumLocalPages(), 0.0);
+  for (graph::Subgraph::LocalIndex i = 0; i < fragment.NumLocalPages(); ++i) {
+    const graph::PageId page = fragment.GlobalId(i);
+    const graph::Subgraph::LocalIndex old = fragment_.LocalIndexOf(page);
+    if (old != graph::Subgraph::kNotLocal) {
+      new_scores[i] = scores_[old];
+    } else if (const ExternalPageInfo* info = world_.Find(page)) {
+      // The page was known through the world node: keep that estimate.
+      new_scores[i] = std::max(info->score, 1.0 / static_cast<double>(global_size_));
+    } else if (const auto it = world_.dangling_scores().find(page);
+               it != world_.dangling_scores().end()) {
+      new_scores[i] = std::max(it->second, 1.0 / static_cast<double>(global_size_));
+    } else {
+      new_scores[i] = 1.0 / static_cast<double>(global_size_);
+    }
+  }
+  const graph::Subgraph old_fragment = std::move(fragment_);
+  const std::vector<double> old_scores = std::move(scores_);
+  fragment_ = std::move(fragment);
+  scores_ = std::move(new_scores);
+  // Drop world knowledge about pages that became local, and in-links aimed
+  // at pages we no longer hold.
+  for (graph::Subgraph::LocalIndex i = 0; i < fragment_.NumLocalPages(); ++i) {
+    world_.Erase(fragment_.GlobalId(i));
+  }
+  world_.FilterTargets([this](graph::PageId t) { return fragment_.Contains(t); });
+  // Retain what the peer learned from crawling the dropped pages: a dropped
+  // page that links into the retained set becomes a world-node entry with
+  // its last known score.
+  std::vector<graph::PageId> targets;
+  for (graph::Subgraph::LocalIndex i = 0; i < old_fragment.NumLocalPages(); ++i) {
+    const graph::PageId page = old_fragment.GlobalId(i);
+    if (fragment_.Contains(page)) continue;
+    if (old_fragment.GlobalOutDegree(i) == 0) {
+      world_.ObserveDangling(page, old_scores[i], options_.combine_mode,
+                             options_.authoritative_refresh);
+      continue;
+    }
+    targets.clear();
+    for (graph::PageId successor : old_fragment.Successors(i)) {
+      if (fragment_.Contains(successor)) targets.push_back(successor);
+    }
+    if (!targets.empty()) {
+      world_.Observe(page, static_cast<uint32_t>(old_fragment.GlobalOutDegree(i)),
+                     old_scores[i], targets, options_.combine_mode,
+                     options_.authoritative_refresh);
+    }
+  }
+  // The re-crawl may have discovered new pages; the sketch only ever grows
+  // (departed pages still exist in the global graph).
+  SeedPageSketch();
+  RefreshGlobalSizeEstimate();
+  RunLocalPageRank();
+}
+
+}  // namespace core
+}  // namespace jxp

@@ -1,0 +1,205 @@
+#ifndef JXP_CORE_JXP_PEER_H_
+#define JXP_CORE_JXP_PEER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/jxp_options.h"
+#include "core/world_node.h"
+#include "graph/subgraph.h"
+#include "p2p/network.h"
+#include "synopses/hash_sketch.h"
+
+namespace jxp {
+namespace core {
+
+/// Measurements of one peer meeting.
+struct MeetingOutcome {
+  /// Total bytes moved over the wire (both directions).
+  double wire_bytes = 0;
+  /// Bytes each side sent (its fragment structure + score list + world
+  /// node); wire_bytes is their sum.
+  double bytes_sent_initiator = 0;
+  double bytes_sent_partner = 0;
+  /// CPU milliseconds each side spent on its merge + local PR.
+  double cpu_millis_initiator = 0;
+  double cpu_millis_partner = 0;
+  /// Power iterations each side's PageRank run needed.
+  int pr_iterations_initiator = 0;
+  int pr_iterations_partner = 0;
+};
+
+/// A JXP peer: a local Web fragment, the world node summarizing everything
+/// else, and the current JXP score list (paper Section 3).
+///
+/// Construction runs the initialization procedure (Algorithm 1): local
+/// scores start at 1/N, the world node at (N-n)/N, and one local PageRank
+/// run on the extended graph produces the initial JXP scores. Meetings
+/// (JxpPeer::Meet) then refine the scores; with fair meeting schedules they
+/// converge to the true global PageRank (Theorem 5.4).
+class JxpPeer {
+ public:
+  /// Creates the peer over `fragment`. `global_size` is the (estimated)
+  /// total number of pages N in the network (Section 3 discusses why
+  /// assuming this estimate is uncritical; the estimate may be off — see the
+  /// graph-size ablation).
+  JxpPeer(p2p::PeerId id, graph::Subgraph fragment, size_t global_size,
+          const JxpOptions& options);
+
+  /// Restores a peer from persisted state (see core/state_io.h): members
+  /// are adopted as-is and *no* initialization PageRank run is performed,
+  /// so a saved and re-loaded peer resumes exactly where it stopped.
+  JxpPeer(p2p::PeerId id, graph::Subgraph fragment, size_t global_size,
+          const JxpOptions& options, std::vector<double> scores, WorldNode world,
+          double world_score);
+
+  JxpPeer(const JxpPeer&) = delete;
+  JxpPeer& operator=(const JxpPeer&) = delete;
+  JxpPeer(JxpPeer&&) noexcept = default;
+  JxpPeer& operator=(JxpPeer&&) noexcept = default;
+
+  /// Performs one meeting: both peers exchange their extended local graphs
+  /// and score lists and each recomputes its scores independently (the
+  /// paper's asynchronous double-sided update, serialized here). The merge
+  /// procedure and score combination follow the peers' options; both peers
+  /// must share the same options.
+  static MeetingOutcome Meet(JxpPeer& initiator, JxpPeer& partner);
+
+  /// The peer's network id.
+  p2p::PeerId id() const { return id_; }
+
+  /// The local fragment.
+  const graph::Subgraph& fragment() const { return fragment_; }
+
+  /// The world node.
+  const WorldNode& world_node() const { return world_; }
+
+  /// Current JXP score of the world node (alpha_w).
+  double world_score() const { return world_score_; }
+
+  /// Current JXP scores of local pages, indexed by Subgraph local index.
+  const std::vector<double>& local_scores() const { return scores_; }
+
+  /// JXP score of a page by global id; 0 when the page is not local.
+  double ScoreOfGlobal(graph::PageId page) const;
+
+  /// Sum of the local page scores (1 - world_score, Theorem 5.2's monotone
+  /// quantity).
+  double LocalScoreMass() const { return 1.0 - world_score_; }
+
+  /// Number of meetings this peer has taken part in.
+  size_t num_meetings() const { return num_meetings_; }
+
+  /// CPU milliseconds of each merge procedure this peer performed, in
+  /// meeting order (Table 1 reports the per-peer average).
+  const std::vector<double>& meeting_cpu_millis() const { return meeting_cpu_millis_; }
+
+  /// Iterations of the most recent local PageRank run.
+  int last_pr_iterations() const { return last_pr_iterations_; }
+
+  /// Number of meetings whose incoming message this peer rejected as
+  /// implausible (see DefenseOptions).
+  size_t rejected_meetings() const { return rejected_meetings_; }
+
+  /// Local convergence heuristic. A peer cannot observe the global error,
+  /// but it can watch its own world-node score: the score is monotonically
+  /// non-increasing (Theorem 5.1) and converges to pi_w (Theorem 5.4), so
+  /// once it has moved by less than `tolerance` over the peer's last
+  /// `window` meetings, the peer's local view has (heuristically) settled
+  /// and it can throttle its meeting rate. Returns false until the peer has
+  /// had at least `window` meetings.
+  bool HasLocallyConverged(size_t window, double tolerance) const;
+
+  /// World score after each of this peer's meetings, in meeting order.
+  const std::vector<double>& world_score_history() const {
+    return world_score_history_;
+  }
+
+  /// True if any extended-system build had to clamp the world row (see
+  /// ExtendedGraphSystem::world_row_clamped).
+  bool ever_clamped_world_row() const { return ever_clamped_world_row_; }
+
+  /// The options (shared network-wide).
+  const JxpOptions& options() const { return options_; }
+
+  /// The global page count estimate N. With
+  /// options().estimate_global_size this evolves as the peer's page sketch
+  /// absorbs other peers' sketches.
+  size_t global_size() const { return global_size_; }
+
+  /// The peer's distinct-page sketch (all page ids it has ever seen or
+  /// heard of); drives the N estimate when estimate_global_size is on.
+  const synopses::HashSketch& page_sketch() const { return page_sketch_; }
+
+  /// Wire size of this peer's meeting message: fragment structure + score
+  /// list + world node (Section 6.2's message accounting: ids, degrees and
+  /// scores only, never page content).
+  double MessageWireBytes() const;
+
+  /// Replaces the local fragment (peer re-crawl / content change, Section
+  /// 7). Scores of retained pages are kept; new pages start at 1/N; world
+  /// knowledge pointing at dropped pages is discarded; then one local PR
+  /// run refreshes the scores.
+  void ReplaceFragment(graph::Subgraph fragment);
+
+ private:
+  /// Immutable snapshot of the state a peer ships in a meeting message.
+  struct PeerView {
+    const graph::Subgraph* fragment = nullptr;
+    std::vector<double> scores;  // By the fragment's local index.
+    WorldNode world;
+    const synopses::HashSketch* page_sketch = nullptr;
+    double wire_bytes = 0;
+  };
+
+  PeerView MakeView() const;
+
+  /// One side of a meeting: absorb the partner's message, recompute.
+  /// Returns CPU milliseconds spent.
+  double ProcessMeeting(const PeerView& partner);
+
+  /// Defense gate: true when the partner's message should be discarded as
+  /// implausible (DefenseOptions).
+  bool ShouldRejectMessage(const PeerView& partner) const;
+
+  /// Light-weight procedure (Algorithm 3 / Section 4.1).
+  void ProcessLightWeight(const PeerView& partner);
+
+  /// Full-merge procedure (Algorithm 2).
+  void ProcessFullMerge(const PeerView& partner);
+
+  /// Combines a partner-reported score for a *local* page into scores_[i].
+  void CombineLocalScore(graph::Subgraph::LocalIndex i, double reported);
+
+  /// Recomputes world_score_ as 1 - sum(local scores) (Eq. 1) and runs the
+  /// local PageRank on the extended graph, applying the Eq. 2 / Eq. 3 score
+  /// update rule.
+  void RunLocalPageRank();
+
+  /// Feeds the fragment's pages and known successors into page_sketch_ and,
+  /// when estimation is enabled, refreshes global_size_ from it.
+  void SeedPageSketch();
+  void RefreshGlobalSizeEstimate();
+
+  p2p::PeerId id_;
+  graph::Subgraph fragment_;
+  size_t global_size_;
+  JxpOptions options_;
+
+  std::vector<double> scores_;  // JXP scores of local pages, by local index.
+  double world_score_ = 1.0;
+  WorldNode world_;
+
+  size_t num_meetings_ = 0;
+  size_t rejected_meetings_ = 0;
+  std::vector<double> meeting_cpu_millis_;
+  std::vector<double> world_score_history_;
+  int last_pr_iterations_ = 0;
+  bool ever_clamped_world_row_ = false;
+  synopses::HashSketch page_sketch_;
+};
+
+}  // namespace core
+}  // namespace jxp
+
+#endif  // JXP_CORE_JXP_PEER_H_

@@ -1,0 +1,143 @@
+#ifndef JXP_CORE_PEER_SELECTION_H_
+#define JXP_CORE_PEER_SELECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/jxp_peer.h"
+#include "p2p/network.h"
+#include "synopses/minwise.h"
+
+namespace jxp {
+namespace core {
+
+/// Outcome of a partner selection.
+struct SelectionResult {
+  p2p::PeerId partner = p2p::kInvalidPeer;
+  /// Synopsis bytes the selection itself moved (pre-meetings, Section 4.3);
+  /// zero for the random strategy.
+  double synopsis_bytes = 0;
+};
+
+/// Strategy interface for choosing the next meeting partner (Section 4.3).
+///
+/// Implementations may keep per-peer state (caches, candidate lists) and may
+/// read the peers' fragments through the attached peer vector. AfterMeeting
+/// is invoked once per completed meeting and returns any extra bytes the
+/// strategy's bookkeeping moved (piggybacked synopses, cache-list exchange).
+class PeerSelector {
+ public:
+  virtual ~PeerSelector() = default;
+
+  /// Chooses an alive partner != initiator.
+  virtual SelectionResult SelectPartner(p2p::PeerId initiator, const p2p::Network& network,
+                                        Random& rng) = 0;
+
+  /// Hook called after peers `a` and `b` finished a meeting.
+  virtual double AfterMeeting(p2p::PeerId a, p2p::PeerId b, const p2p::Network& network) = 0;
+
+  /// Hook called when a peer's fragment changed (churn / re-crawl).
+  virtual void OnFragmentChanged(p2p::PeerId peer) = 0;
+};
+
+/// The baseline strategy: uniformly random alive partner.
+class RandomPeerSelector : public PeerSelector {
+ public:
+  RandomPeerSelector() = default;
+
+  SelectionResult SelectPartner(p2p::PeerId initiator, const p2p::Network& network,
+                                Random& rng) override {
+    return {network.RandomAlivePeer(rng, initiator), 0.0};
+  }
+
+  double AfterMeeting(p2p::PeerId, p2p::PeerId, const p2p::Network&) override { return 0; }
+  void OnFragmentChanged(p2p::PeerId) override {}
+};
+
+/// The pre-meetings strategy (Section 4.3), driven by min-wise permutation
+/// synopses:
+///
+/// - every peer carries two MIPs signatures, local(A) over its page set and
+///   successors(A) over the union of its pages' successor lists;
+/// - after a meeting of A and B, A caches B's id if
+///   Containment(successors(B), local(A)) exceeds `containment_threshold`
+///   (B's pages send many in-links into A), and vice versa;
+/// - if additionally the two peers' page sets overlap strongly
+///   (resemblance above `overlap_threshold`), they exchange their cached-id
+///   lists; the received ids become *candidates*, each measured by a
+///   pre-meeting that transfers only the candidate's successors signature;
+/// - at selection time the best-scored candidate is taken; every k-th
+///   selection falls back to a uniformly random peer so the meeting sequence
+///   stays fair (the precondition of Theorem 5.4), and with probability
+///   `revisit_probability` a cached peer is re-visited to keep the cache
+///   fresh.
+class PreMeetingSelector : public PeerSelector {
+ public:
+  struct Options {
+    /// Signature length (number of permutations).
+    size_t mips_permutations = 64;
+    /// Shared seed of the permutation family (network-wide constant).
+    uint64_t mips_seed = 0xa11ce5eedULL;
+    /// Cache a met peer whose successors->local containment exceeds this.
+    double containment_threshold = 0.05;
+    /// Exchange cached-id lists when local-set resemblance exceeds this.
+    double overlap_threshold = 0.2;
+    /// Cache capacity per peer (oldest evicted first).
+    size_t max_cached_peers = 20;
+    /// Candidate list capacity per peer.
+    size_t max_candidates = 20;
+    /// Every k-th selection is uniformly random (fairness knob).
+    size_t random_every_k = 10;
+    /// Probability of picking a cached peer (rather than random) when no
+    /// candidate is available.
+    double revisit_probability = 0.5;
+  };
+
+  /// `peers` must outlive the selector and hold one JxpPeer per network
+  /// peer, indexed by PeerId.
+  PreMeetingSelector(const Options& options, const std::vector<JxpPeer>* peers);
+
+  SelectionResult SelectPartner(p2p::PeerId initiator, const p2p::Network& network,
+                                Random& rng) override;
+  double AfterMeeting(p2p::PeerId a, p2p::PeerId b, const p2p::Network& network) override;
+  void OnFragmentChanged(p2p::PeerId peer) override;
+
+  /// Wire size of one signature (vector of 8-byte minima + set size).
+  double SignatureBytes() const {
+    return static_cast<double>(options_.mips_permutations) * 8 + 8;
+  }
+
+ private:
+  struct PeerState {
+    synopses::MinWiseSignature local_signature;
+    synopses::MinWiseSignature successors_signature;
+    bool signatures_ready = false;
+    /// Ids of peers with high in-link contribution, oldest first.
+    std::vector<p2p::PeerId> cached;
+    /// (candidate id, estimated containment), best last.
+    std::vector<std::pair<p2p::PeerId, double>> candidates;
+    size_t selections = 0;
+  };
+
+  PeerState& StateOf(p2p::PeerId peer);
+  void EnsureSignatures(p2p::PeerId peer);
+
+  /// Adds `candidate` to `state`'s candidate list, measuring it by a
+  /// pre-meeting (transfers one successors signature). Returns the bytes
+  /// moved (0 if the candidate was skipped).
+  double ConsiderCandidate(p2p::PeerId owner, PeerState& state, p2p::PeerId candidate);
+
+  void CachePeer(PeerState& state, p2p::PeerId peer);
+
+  Options options_;
+  const std::vector<JxpPeer>* peers_;
+  synopses::MinWiseFamily family_;
+  std::vector<PeerState> states_;
+};
+
+}  // namespace core
+}  // namespace jxp
+
+#endif  // JXP_CORE_PEER_SELECTION_H_

@@ -1,0 +1,79 @@
+#include "core/simulation.h"
+
+#include <utility>
+
+namespace jxp {
+namespace core {
+
+JxpSimulation::JxpSimulation(const graph::Graph& global,
+                             std::vector<std::vector<graph::PageId>> fragments,
+                             const SimulationConfig& config)
+    : global_(global), config_(config), rng_(config.seed) {
+  JXP_CHECK_GE(fragments.size(), 2u) << "a P2P network needs at least two peers";
+
+  // Centralized baseline.
+  pagerank::PageRankOptions pr_options;
+  pr_options.damping = config_.jxp.damping;
+  pr_options.tolerance = config_.baseline_tolerance;
+  pr_options.max_iterations = config_.baseline_max_iterations;
+  pagerank::PageRankResult baseline = ComputePageRank(global, pr_options);
+  JXP_CHECK(baseline.converged) << "centralized PageRank did not converge";
+  global_scores_ = std::move(baseline.scores);
+  global_top_k_ = metrics::TopK(global_scores_, config_.eval_top_k);
+
+  // Peers.
+  const size_t n = config_.global_size_estimate > 0 ? config_.global_size_estimate
+                                                    : global.NumNodes();
+  peers_.reserve(fragments.size());
+  for (std::vector<graph::PageId>& pages : fragments) {
+    const p2p::PeerId id = network_.AddPeer();
+    JxpOptions options = config_.jxp;
+    if (id < config_.num_attackers) options.attack = config_.attack;
+    peers_.emplace_back(id, graph::Subgraph::Induce(global, std::move(pages)), n,
+                        options);
+  }
+
+  // Partner selection.
+  if (config_.strategy == SelectionStrategy::kPreMeetings) {
+    selector_ = std::make_unique<PreMeetingSelector>(config_.pre_meeting, &peers_);
+  } else {
+    selector_ = std::make_unique<RandomPeerSelector>();
+  }
+
+  // Churn (off unless probabilities are set).
+  if (config_.churn.leave_probability > 0 || config_.churn.join_probability > 0) {
+    churn_ = std::make_unique<p2p::ChurnModel>(config_.churn, config_.seed ^ 0xc0ffee);
+  }
+}
+
+void JxpSimulation::RunMeetings(size_t count) {
+  for (size_t m = 0; m < count; ++m) {
+    if (churn_ != nullptr) churn_->Step(network_);
+    JXP_CHECK_GE(network_.NumAlive(), 2u) << "network too small to meet";
+    const p2p::PeerId initiator = network_.RandomAlivePeer(rng_, p2p::kInvalidPeer);
+    const SelectionResult selection = selector_->SelectPartner(initiator, network_, rng_);
+    JXP_CHECK(selection.partner != initiator && network_.IsAlive(selection.partner));
+    MeetingOutcome outcome = JxpPeer::Meet(peers_[initiator], peers_[selection.partner]);
+    const double extra = selector_->AfterMeeting(initiator, selection.partner, network_) +
+                         selection.synopsis_bytes;
+    // Attribute to each participant the bytes it sent plus half of the
+    // selection/synopsis overhead.
+    network_.RecordMeetingTraffic(initiator, outcome.bytes_sent_initiator + extra / 2);
+    network_.RecordMeetingTraffic(selection.partner,
+                                  outcome.bytes_sent_partner + extra / 2);
+    ++meetings_done_;
+  }
+}
+
+AccuracyPoint JxpSimulation::Evaluate() const {
+  return EvaluateAccuracy(GlobalJxpScores(), global_top_k_);
+}
+
+void JxpSimulation::ReplaceFragment(p2p::PeerId peer, std::vector<graph::PageId> pages) {
+  JXP_CHECK_LT(peer, peers_.size());
+  peers_[peer].ReplaceFragment(graph::Subgraph::Induce(global_, std::move(pages)));
+  selector_->OnFragmentChanged(peer);
+}
+
+}  // namespace core
+}  // namespace jxp

@@ -1,0 +1,180 @@
+#include "core/state_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace jxp {
+namespace core {
+
+namespace {
+
+constexpr char kMagic[] = "JXPSTATE v1";
+
+uint64_t ChecksumOf(const std::string& body) {
+  return HashString(body);
+}
+
+}  // namespace
+
+Status SavePeerState(const JxpPeer& peer, const std::string& path) {
+  std::ostringstream body;
+  body.precision(17);
+  body << kMagic << "\n";
+  body << "peer " << peer.id() << "\n";
+  body << "global_size " << peer.global_size() << "\n";
+  body << "world_score " << peer.world_score() << "\n";
+
+  const graph::Subgraph& fragment = peer.fragment();
+  body << "pages " << fragment.NumLocalPages() << "\n";
+  for (graph::Subgraph::LocalIndex i = 0; i < fragment.NumLocalPages(); ++i) {
+    body << fragment.GlobalId(i) << " " << peer.local_scores()[i];
+    const auto successors = fragment.Successors(i);
+    body << " " << successors.size();
+    for (graph::PageId s : successors) body << " " << s;
+    body << "\n";
+  }
+
+  const WorldNode& world = peer.world_node();
+  body << "world_entries " << world.NumEntries() << "\n";
+  for (const auto& [page, info] : world.entries()) {
+    body << page << " " << info.out_degree << " " << info.score << " "
+         << info.targets.size();
+    for (graph::PageId t : info.targets) body << " " << t;
+    body << "\n";
+  }
+  body << "dangling " << world.dangling_scores().size() << "\n";
+  for (const auto& [page, score] : world.dangling_scores()) {
+    body << page << " " << score << "\n";
+  }
+
+  const std::string content = body.str();
+  const std::string temp_path = path + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + temp_path + " for writing");
+    out << content << "checksum " << ChecksumOf(content) << "\n";
+    out.flush();
+    if (!out) return Status::IOError("write error on " + temp_path);
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename " + temp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<JxpPeer> LoadPeerState(const std::string& path, const JxpOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read error on " + path);
+  const std::string content = buffer.str();
+
+  // Split off and verify the checksum line.
+  const size_t checksum_pos = content.rfind("checksum ");
+  if (checksum_pos == std::string::npos || checksum_pos == 0) {
+    return Status::Corruption(path + ": missing checksum");
+  }
+  const std::string body = content.substr(0, checksum_pos);
+  uint64_t stored = 0;
+  if (std::sscanf(content.c_str() + checksum_pos, "checksum %" SCNu64, &stored) != 1) {
+    return Status::Corruption(path + ": malformed checksum line");
+  }
+  if (stored != ChecksumOf(body)) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+
+  std::istringstream parse(body);
+  std::string line;
+  if (!std::getline(parse, line) || line != kMagic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  std::string keyword;
+  uint32_t peer_id = 0;
+  size_t global_size = 0;
+  double world_score = 0;
+  size_t num_pages = 0;
+  if (!(parse >> keyword >> peer_id) || keyword != "peer") {
+    return Status::Corruption(path + ": bad peer line");
+  }
+  if (!(parse >> keyword >> global_size) || keyword != "global_size") {
+    return Status::Corruption(path + ": bad global_size line");
+  }
+  if (!(parse >> keyword >> world_score) || keyword != "world_score") {
+    return Status::Corruption(path + ": bad world_score line");
+  }
+  if (!(parse >> keyword >> num_pages) || keyword != "pages") {
+    return Status::Corruption(path + ": bad pages line");
+  }
+  std::vector<graph::PageId> pages(num_pages);
+  std::vector<double> scores(num_pages);
+  std::vector<std::vector<graph::PageId>> successors(num_pages);
+  for (size_t i = 0; i < num_pages; ++i) {
+    size_t count = 0;
+    if (!(parse >> pages[i] >> scores[i] >> count)) {
+      return Status::Corruption(path + ": bad page record");
+    }
+    successors[i].resize(count);
+    for (size_t j = 0; j < count; ++j) {
+      if (!(parse >> successors[i][j])) {
+        return Status::Corruption(path + ": truncated successor list");
+      }
+    }
+  }
+
+  WorldNode world;
+  size_t num_entries = 0;
+  if (!(parse >> keyword >> num_entries) || keyword != "world_entries") {
+    return Status::Corruption(path + ": bad world_entries line");
+  }
+  for (size_t e = 0; e < num_entries; ++e) {
+    graph::PageId page = 0;
+    uint32_t out_degree = 0;
+    double score = 0;
+    size_t count = 0;
+    if (!(parse >> page >> out_degree >> score >> count)) {
+      return Status::Corruption(path + ": bad world entry");
+    }
+    std::vector<graph::PageId> targets(count);
+    for (size_t j = 0; j < count; ++j) {
+      if (!(parse >> targets[j])) {
+        return Status::Corruption(path + ": truncated world targets");
+      }
+    }
+    if (count == 0) return Status::Corruption(path + ": world entry without targets");
+    world.Observe(page, out_degree, score, targets, options.combine_mode);
+  }
+  size_t num_dangling = 0;
+  if (!(parse >> keyword >> num_dangling) || keyword != "dangling") {
+    return Status::Corruption(path + ": bad dangling line");
+  }
+  for (size_t d = 0; d < num_dangling; ++d) {
+    graph::PageId page = 0;
+    double score = 0;
+    if (!(parse >> page >> score)) {
+      return Status::Corruption(path + ": bad dangling record");
+    }
+    world.ObserveDangling(page, score, options.combine_mode);
+  }
+
+  if (num_pages == 0) return Status::Corruption(path + ": peer without pages");
+  graph::Subgraph fragment =
+      graph::Subgraph::FromKnowledge(std::move(pages), std::move(successors));
+  if (fragment.NumLocalPages() != num_pages) {
+    return Status::Corruption(path + ": duplicate pages in fragment");
+  }
+  // Scores were written in fragment order (sorted by global id), which
+  // FromKnowledge preserves.
+  if (world_score <= 0 || world_score >= 1 || global_size < num_pages) {
+    return Status::Corruption(path + ": implausible scalar state");
+  }
+  return JxpPeer(peer_id, std::move(fragment), global_size, options, std::move(scores),
+                 std::move(world), world_score);
+}
+
+}  // namespace core
+}  // namespace jxp

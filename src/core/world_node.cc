@@ -1,0 +1,82 @@
+#include "core/world_node.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace jxp {
+namespace core {
+
+void WorldNode::Observe(graph::PageId page, uint32_t out_degree, double score,
+                        std::span<const graph::PageId> targets, CombineMode mode,
+                        bool authoritative) {
+  JXP_CHECK_GT(out_degree, 0u) << "external in-linking page must have out-links";
+  JXP_CHECK_GE(score, 0.0);
+  auto [it, inserted] = entries_.try_emplace(page);
+  ExternalPageInfo& info = it->second;
+  if (inserted) {
+    info.out_degree = out_degree;
+    info.score = score;
+    info.targets.assign(targets.begin(), targets.end());
+    std::sort(info.targets.begin(), info.targets.end());
+    info.targets.erase(std::unique(info.targets.begin(), info.targets.end()),
+                       info.targets.end());
+    return;
+  }
+  JXP_CHECK_EQ(info.out_degree, out_degree)
+      << "conflicting out-degree reports for page " << page;
+  if (authoritative) {
+    info.score = score;
+  } else {
+    info.score = mode == CombineMode::kTakeMax ? std::max(info.score, score)
+                                               : 0.5 * (info.score + score);
+  }
+  // Union the target lists (both sides sorted unique).
+  std::vector<graph::PageId> merged;
+  merged.reserve(info.targets.size() + targets.size());
+  std::vector<graph::PageId> incoming(targets.begin(), targets.end());
+  std::sort(incoming.begin(), incoming.end());
+  std::set_union(info.targets.begin(), info.targets.end(), incoming.begin(), incoming.end(),
+                 std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  info.targets = std::move(merged);
+}
+
+void WorldNode::ObserveDangling(graph::PageId page, double score, CombineMode mode,
+                                bool authoritative) {
+  JXP_CHECK_GE(score, 0.0);
+  auto [it, inserted] = dangling_scores_.try_emplace(page, score);
+  if (inserted || authoritative) {
+    it->second = score;
+    return;
+  }
+  it->second = mode == CombineMode::kTakeMax ? std::max(it->second, score)
+                                             : 0.5 * (it->second + score);
+}
+
+void WorldNode::ScaleScores(double factor) {
+  JXP_CHECK_GE(factor, 0.0);
+  for (auto& [page, info] : entries_) info.score *= factor;
+  for (auto& [page, score] : dangling_scores_) score *= factor;
+}
+
+double WorldNode::TotalDanglingScore() const {
+  double total = 0;
+  for (const auto& [page, score] : dangling_scores_) total += score;
+  return total;
+}
+
+size_t WorldNode::NumLinks() const {
+  size_t links = 0;
+  for (const auto& [page, info] : entries_) links += info.targets.size();
+  return links;
+}
+
+double WorldNode::WireBytes() const {
+  return static_cast<double>(entries_.size()) * (8 + 4 + 8) +
+         static_cast<double>(NumLinks()) * 8 +
+         static_cast<double>(dangling_scores_.size()) * (8 + 8);
+}
+
+}  // namespace core
+}  // namespace jxp

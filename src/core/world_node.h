@@ -1,0 +1,125 @@
+#ifndef JXP_CORE_WORLD_NODE_H_
+#define JXP_CORE_WORLD_NODE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/jxp_options.h"
+#include "graph/graph.h"
+
+namespace jxp {
+namespace core {
+
+/// What a peer knows about one external page that links into its local
+/// graph: the page's global out-degree, its most recently learned JXP score,
+/// and which local pages it points to. This is the paper's "for every page r
+/// in W we store out(r) and alpha(r), both learned from a previous meeting".
+struct ExternalPageInfo {
+  /// Global out-degree of the external page (> 0 by construction: it has at
+  /// least one out-link, namely the one into the local graph).
+  uint32_t out_degree = 0;
+  /// Last learned JXP score of the page.
+  double score = 0;
+  /// Local pages (global ids, sorted unique) this external page links to.
+  std::vector<graph::PageId> targets;
+};
+
+/// The JXP world node: the aggregate of all pages a peer has not crawled.
+///
+/// It carries the peer's accumulated knowledge of *external in-links*: for
+/// each known external page that points into the local fragment, an
+/// ExternalPageInfo entry. Links from external pages to other external pages
+/// are represented implicitly by the world node's self-loop, whose weight the
+/// extended-graph construction derives as the complement of the outgoing
+/// weights (paper Eq. 9).
+class WorldNode {
+ public:
+  WorldNode() = default;
+
+  /// Records (or refreshes) knowledge about external page `page`:
+  /// `targets` are local pages it links to (global ids), `score` the
+  /// reporting peer's JXP score for it. On a repeated observation the target
+  /// lists are unioned and the scores combined per `mode` (average / max).
+  ///
+  /// `authoritative` marks a report that comes from a peer hosting `page`
+  /// *locally* (or from this peer's own crawl of it): such a report carries
+  /// the page's current score and overwrites the stored one instead of
+  /// combining. This keeps the static-network behaviour of the paper (scores
+  /// only grow there, so max == latest) while letting the network self-heal
+  /// from transient overestimates after re-crawls and churn, which take-max
+  /// would otherwise keep alive forever.
+  void Observe(graph::PageId page, uint32_t out_degree, double score,
+               std::span<const graph::PageId> targets, CombineMode mode,
+               bool authoritative = false);
+
+  /// Records (or refreshes) knowledge about an external *dangling* page
+  /// (out-degree 0). Under the uniform-redistribution convention a dangling
+  /// page effectively links to every page, so its score mass flows 1/N to
+  /// each local page; the extended-graph construction adds that flow to the
+  /// world row. Same `mode`/`authoritative` semantics as Observe.
+  void ObserveDangling(graph::PageId page, double score, CombineMode mode,
+                       bool authoritative = false);
+
+  /// Removes the entry for `page` (used when the page becomes local after a
+  /// full merge). No-op if absent.
+  void Erase(graph::PageId page) {
+    entries_.erase(page);
+    dangling_scores_.erase(page);
+  }
+
+  /// Drops targets not satisfying `keep` and erases entries left with no
+  /// targets. Used to project a merged world node back onto one fragment.
+  template <typename Predicate>
+  void FilterTargets(Predicate keep) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      auto& targets = it->second.targets;
+      std::erase_if(targets, [&keep](graph::PageId t) { return !keep(t); });
+      it = targets.empty() ? entries_.erase(it) : ++it;
+    }
+  }
+
+  /// Scales every stored external score by `factor` (the Eq. 2 re-weighting
+  /// of the baseline combine mode).
+  void ScaleScores(double factor);
+
+  /// Number of known external in-linking pages.
+  size_t NumEntries() const { return entries_.size(); }
+
+  /// Total number of known external in-links (sum of target-list sizes).
+  size_t NumLinks() const;
+
+  /// Lookup; nullptr if unknown.
+  const ExternalPageInfo* Find(graph::PageId page) const {
+    const auto it = entries_.find(page);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Iteration over all entries (unordered).
+  const std::unordered_map<graph::PageId, ExternalPageInfo>& entries() const {
+    return entries_;
+  }
+
+  /// Known external dangling pages (page -> score).
+  const std::unordered_map<graph::PageId, double>& dangling_scores() const {
+    return dangling_scores_;
+  }
+
+  /// Sum of the known external dangling pages' scores.
+  double TotalDanglingScore() const;
+
+  /// Wire size in bytes when shipped in a meeting message: per entry one
+  /// page id (8) + out-degree (4) + score (8) + one id per target; per
+  /// dangling entry id (8) + score (8).
+  double WireBytes() const;
+
+ private:
+  std::unordered_map<graph::PageId, ExternalPageInfo> entries_;
+  std::unordered_map<graph::PageId, double> dangling_scores_;
+};
+
+}  // namespace core
+}  // namespace jxp
+
+#endif  // JXP_CORE_WORLD_NODE_H_

@@ -1,0 +1,44 @@
+#include "datasets/collections.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace jxp {
+namespace datasets {
+
+namespace {
+constexpr size_t kAmazonNodes = 55196;
+constexpr size_t kWebCrawlNodes = 103591;
+}  // namespace
+
+Collection MakeAmazonLike(double scale, uint64_t seed) {
+  JXP_CHECK_GT(scale, 0.0);
+  Random rng(seed);
+  graph::WebGraphParams params;
+  params.num_nodes = std::max<size_t>(200, static_cast<size_t>(kAmazonNodes * scale));
+  params.num_categories = 10;
+  // 237,160 / 55,196 ≈ 4.3 links per product ("similar recommended
+  // products" lists are short).
+  params.mean_out_degree = 4.3;
+  params.copy_probability = 0.65;
+  params.intra_category_probability = 0.85;
+  return {"amazon", GenerateWebGraph(params, rng)};
+}
+
+Collection MakeWebCrawlLike(double scale, uint64_t seed) {
+  JXP_CHECK_GT(scale, 0.0);
+  Random rng(seed);
+  graph::WebGraphParams params;
+  params.num_nodes = std::max<size_t>(200, static_cast<size_t>(kWebCrawlNodes * scale));
+  params.num_categories = 10;
+  // 1,633,276 / 103,591 ≈ 15.8 links per page; stronger hub structure than
+  // the product graph.
+  params.mean_out_degree = 15.8;
+  params.copy_probability = 0.75;
+  params.intra_category_probability = 0.8;
+  return {"webcrawl", GenerateWebGraph(params, rng)};
+}
+
+}  // namespace datasets
+}  // namespace jxp

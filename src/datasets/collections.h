@@ -1,0 +1,31 @@
+#ifndef JXP_DATASETS_COLLECTIONS_H_
+#define JXP_DATASETS_COLLECTIONS_H_
+
+#include <string>
+
+#include "graph/generators.h"
+
+namespace jxp {
+namespace datasets {
+
+/// A named evaluation collection.
+struct Collection {
+  std::string name;
+  graph::CategorizedGraph data;
+};
+
+/// Synthetic stand-in for the paper's Amazon.com product collection
+/// (55,196 pages, 237,160 links, 10 categories; mean out-degree ~4.3,
+/// power-law in-degree). `scale` multiplies the node count (1.0 = paper
+/// size); the shape parameters stay fixed. See DESIGN.md section 3 for the
+/// substitution rationale.
+Collection MakeAmazonLike(double scale, uint64_t seed);
+
+/// Synthetic stand-in for the paper's focused Web crawl (103,591 pages,
+/// 1,633,276 links, 10 categories; mean out-degree ~15.8, heavier hubs).
+Collection MakeWebCrawlLike(double scale, uint64_t seed);
+
+}  // namespace datasets
+}  // namespace jxp
+
+#endif  // JXP_DATASETS_COLLECTIONS_H_

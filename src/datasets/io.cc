@@ -1,0 +1,61 @@
+#include "datasets/io.h"
+
+#include <fstream>
+
+#include "graph/edge_list.h"
+
+namespace jxp {
+namespace datasets {
+
+Status SaveCollection(const Collection& collection, const std::string& prefix) {
+  JXP_RETURN_IF_ERROR(WriteEdgeList(collection.data.graph, prefix + ".edges"));
+  std::ofstream out(prefix + ".categories");
+  if (!out) return Status::IOError("cannot open " + prefix + ".categories for writing");
+  out << "categories " << collection.data.num_categories << " nodes "
+      << collection.data.graph.NumNodes() << "\n";
+  for (graph::CategoryId c : collection.data.category) out << c << "\n";
+  out.flush();
+  if (!out) return Status::IOError("write error on " + prefix + ".categories");
+  return Status::OK();
+}
+
+StatusOr<Collection> LoadCollection(const std::string& prefix, const std::string& name) {
+  std::ifstream in(prefix + ".categories");
+  if (!in) return Status::IOError("cannot open " + prefix + ".categories");
+  std::string kw_categories;
+  std::string kw_nodes;
+  uint32_t num_categories = 0;
+  size_t num_nodes = 0;
+  if (!(in >> kw_categories >> num_categories >> kw_nodes >> num_nodes) ||
+      kw_categories != "categories" || kw_nodes != "nodes") {
+    return Status::Corruption(prefix + ".categories: bad header");
+  }
+  if (num_categories == 0) {
+    return Status::Corruption(prefix + ".categories: zero categories");
+  }
+  Collection collection;
+  collection.name = name;
+  collection.data.num_categories = num_categories;
+  collection.data.category.resize(num_nodes);
+  for (size_t p = 0; p < num_nodes; ++p) {
+    uint32_t category = 0;
+    if (!(in >> category)) {
+      return Status::Corruption(prefix + ".categories: truncated category list");
+    }
+    if (category >= num_categories) {
+      return Status::Corruption(prefix + ".categories: category id out of range");
+    }
+    collection.data.category[p] = category;
+  }
+  // The graph may have trailing isolated nodes; min_nodes pins the count.
+  JXP_ASSIGN_OR_RETURN(collection.data.graph,
+                       graph::ReadEdgeList(prefix + ".edges", num_nodes));
+  if (collection.data.graph.NumNodes() != num_nodes) {
+    return Status::Corruption(prefix + ": edge list mentions more nodes than the "
+                              "category file declares");
+  }
+  return collection;
+}
+
+}  // namespace datasets
+}  // namespace jxp

@@ -1,0 +1,29 @@
+#ifndef JXP_DATASETS_IO_H_
+#define JXP_DATASETS_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "datasets/collections.h"
+
+namespace jxp {
+namespace datasets {
+
+/// Persistence of evaluation collections, so the (deterministic but not
+/// free) generation step can be cached and collections can be exchanged as
+/// plain text. A collection is stored as two files:
+///   <prefix>.edges       — "u v" edge list (graph/edge_list.h format)
+///   <prefix>.categories  — header "categories <k> nodes <n>" followed by
+///                          one category id per line, in page-id order.
+
+/// Writes `collection` under `prefix`.
+Status SaveCollection(const Collection& collection, const std::string& prefix);
+
+/// Loads a collection saved with SaveCollection. `name` becomes the
+/// collection's name. Validates shape consistency between the two files.
+StatusOr<Collection> LoadCollection(const std::string& prefix, const std::string& name);
+
+}  // namespace datasets
+}  // namespace jxp
+
+#endif  // JXP_DATASETS_IO_H_

@@ -1,0 +1,43 @@
+#include "graph/edge_list.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace jxp {
+namespace graph {
+
+StatusOr<Graph> ReadEdgeList(const std::string& path, size_t min_nodes) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  GraphBuilder builder(min_nodes);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    long long u = -1, v = -1;
+    if (!(fields >> u >> v) || u < 0 || v < 0) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) + ": malformed edge line");
+    }
+    builder.AddEdge(static_cast<PageId>(u), static_cast<PageId>(v));
+  }
+  if (in.bad()) return Status::IOError("read error on " + path);
+  return builder.Build();
+}
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (PageId u = 0; u < g.NumNodes(); ++u) {
+    for (PageId v : g.OutNeighbors(u)) out << u << ' ' << v << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write error on " + path);
+  return Status::OK();
+}
+
+}  // namespace graph
+}  // namespace jxp

@@ -1,0 +1,23 @@
+#ifndef JXP_GRAPH_EDGE_LIST_H_
+#define JXP_GRAPH_EDGE_LIST_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace jxp {
+namespace graph {
+
+/// Reads a whitespace-separated edge list ("u v" per line; '#' comments and
+/// blank lines ignored) into a Graph. Node ids must be non-negative integers;
+/// the node count is max id + 1 (or larger if `min_nodes` says so).
+StatusOr<Graph> ReadEdgeList(const std::string& path, size_t min_nodes = 0);
+
+/// Writes the graph as an edge list ("u v" per line, sorted).
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace graph
+}  // namespace jxp
+
+#endif  // JXP_GRAPH_EDGE_LIST_H_

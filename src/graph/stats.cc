@@ -1,0 +1,122 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace jxp {
+namespace graph {
+
+std::map<size_t, size_t> DegreeHistogram(const Graph& g, DegreeKind kind) {
+  std::map<size_t, size_t> histogram;
+  for (PageId u = 0; u < g.NumNodes(); ++u) {
+    const size_t d = kind == DegreeKind::kIn ? g.InDegree(u) : g.OutDegree(u);
+    histogram[d]++;
+  }
+  return histogram;
+}
+
+std::vector<std::pair<double, double>> LogBinnedHistogram(
+    const std::map<size_t, size_t>& histogram, int bins_per_decade) {
+  JXP_CHECK_GT(bins_per_decade, 0);
+  std::vector<std::pair<double, double>> points;
+  if (histogram.empty()) return points;
+  const double factor = std::pow(10.0, 1.0 / bins_per_decade);
+  // Walk geometric bins [lo, lo*factor) starting at 1; degree-0 nodes are
+  // not representable on a log axis and are skipped.
+  std::map<int, double> bin_mass;
+  for (const auto& [degree, count] : histogram) {
+    if (degree == 0) continue;
+    const int bin = static_cast<int>(std::floor(std::log(static_cast<double>(degree)) /
+                                                std::log(factor) + 1e-12));
+    bin_mass[bin] += static_cast<double>(count);
+  }
+  for (const auto& [bin, mass] : bin_mass) {
+    const double lo = std::pow(factor, bin);
+    const double hi = lo * factor;
+    points.emplace_back(std::sqrt(lo * hi), mass);
+  }
+  return points;
+}
+
+double PowerLawExponentMle(const std::map<size_t, size_t>& histogram, size_t xmin) {
+  JXP_CHECK_GE(xmin, 1u);
+  double log_sum = 0;
+  size_t n = 0;
+  for (const auto& [degree, count] : histogram) {
+    if (degree < xmin) continue;
+    log_sum += count * std::log(static_cast<double>(degree) /
+                                (static_cast<double>(xmin) - 0.5));
+    n += count;
+  }
+  if (n < 2 || log_sum <= 0) return 0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+size_t CountDangling(const Graph& g) {
+  size_t dangling = 0;
+  for (PageId u = 0; u < g.NumNodes(); ++u) {
+    if (g.OutDegree(u) == 0) ++dangling;
+  }
+  return dangling;
+}
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace
+
+std::pair<std::vector<uint32_t>, size_t> WeaklyConnectedComponents(const Graph& g) {
+  UnionFind uf(g.NumNodes());
+  for (PageId u = 0; u < g.NumNodes(); ++u) {
+    for (PageId v : g.OutNeighbors(u)) uf.Union(u, v);
+  }
+  std::vector<uint32_t> component(g.NumNodes());
+  std::map<uint32_t, uint32_t> relabel;
+  for (PageId u = 0; u < g.NumNodes(); ++u) {
+    const uint32_t root = uf.Find(u);
+    const auto [it, inserted] = relabel.emplace(root, static_cast<uint32_t>(relabel.size()));
+    component[u] = it->second;
+  }
+  return {std::move(component), relabel.size()};
+}
+
+double LargestWccFraction(const Graph& g) {
+  if (g.NumNodes() == 0) return 0;
+  const auto [component, count] = WeaklyConnectedComponents(g);
+  std::vector<size_t> sizes(count, 0);
+  for (uint32_t c : component) sizes[c]++;
+  return static_cast<double>(*std::max_element(sizes.begin(), sizes.end())) /
+         static_cast<double>(g.NumNodes());
+}
+
+}  // namespace graph
+}  // namespace jxp

@@ -1,0 +1,44 @@
+#ifndef JXP_GRAPH_STATS_H_
+#define JXP_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace jxp {
+namespace graph {
+
+/// Which degree of a node to analyze.
+enum class DegreeKind { kIn, kOut };
+
+/// Histogram: degree value -> number of nodes with that degree.
+std::map<size_t, size_t> DegreeHistogram(const Graph& g, DegreeKind kind);
+
+/// Log-binned version of a degree histogram for log-log plots (Figure 3):
+/// returns (bin-center degree, node count in bin) with `bins_per_decade`
+/// geometric bins. Bins with zero mass are omitted.
+std::vector<std::pair<double, double>> LogBinnedHistogram(
+    const std::map<size_t, size_t>& histogram, int bins_per_decade = 5);
+
+/// Maximum-likelihood estimate of the power-law exponent alpha for the tail
+/// degrees >= xmin:  alpha = 1 + n / sum(ln(d_i / (xmin - 0.5))).
+/// Returns 0 if fewer than 2 tail samples exist.
+double PowerLawExponentMle(const std::map<size_t, size_t>& histogram, size_t xmin);
+
+/// Number of dangling nodes (out-degree zero).
+size_t CountDangling(const Graph& g);
+
+/// Weakly-connected-component labeling: returns (component id per node,
+/// number of components).
+std::pair<std::vector<uint32_t>, size_t> WeaklyConnectedComponents(const Graph& g);
+
+/// Fraction of nodes in the largest weakly connected component.
+double LargestWccFraction(const Graph& g);
+
+}  // namespace graph
+}  // namespace jxp
+
+#endif  // JXP_GRAPH_STATS_H_

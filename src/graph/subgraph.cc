@@ -1,0 +1,99 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+namespace jxp {
+namespace graph {
+
+Subgraph Subgraph::Induce(const Graph& global, std::vector<PageId> pages) {
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+  Subgraph sg;
+  sg.pages_ = std::move(pages);
+  sg.succ_offsets_.assign(sg.pages_.size() + 1, 0);
+  size_t total = 0;
+  for (size_t i = 0; i < sg.pages_.size(); ++i) {
+    JXP_CHECK_LT(sg.pages_[i], global.NumNodes());
+    total += global.OutDegree(sg.pages_[i]);
+    sg.succ_offsets_[i + 1] = total;
+  }
+  sg.succ_.reserve(total);
+  for (PageId p : sg.pages_) {
+    const auto neighbors = global.OutNeighbors(p);
+    sg.succ_.insert(sg.succ_.end(), neighbors.begin(), neighbors.end());
+  }
+  sg.BuildDerivedIndexes();
+  return sg;
+}
+
+Subgraph Subgraph::FromKnowledge(std::vector<PageId> pages,
+                                 std::vector<std::vector<PageId>> successors) {
+  JXP_CHECK_EQ(pages.size(), successors.size());
+  // Sort pages, carrying their successor lists along.
+  std::vector<size_t> order(pages.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&pages](size_t a, size_t b) { return pages[a] < pages[b]; });
+
+  Subgraph sg;
+  sg.succ_offsets_ = {0};
+  PageId prev = kInvalidPage;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const size_t src = order[rank];
+    if (pages[src] == prev) continue;  // Deduplicate pages.
+    prev = pages[src];
+    sg.pages_.push_back(pages[src]);
+    std::vector<PageId>& succ = successors[src];
+    std::sort(succ.begin(), succ.end());
+    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+    sg.succ_.insert(sg.succ_.end(), succ.begin(), succ.end());
+    sg.succ_offsets_.push_back(sg.succ_.size());
+  }
+  sg.BuildDerivedIndexes();
+  return sg;
+}
+
+Subgraph Subgraph::Merge(const Subgraph& a, const Subgraph& b) {
+  std::vector<PageId> pages;
+  std::vector<std::vector<PageId>> successors;
+  pages.reserve(a.NumLocalPages() + b.NumLocalPages());
+  for (LocalIndex i = 0; i < a.NumLocalPages(); ++i) {
+    pages.push_back(a.GlobalId(i));
+    const auto succ = a.Successors(i);
+    successors.emplace_back(succ.begin(), succ.end());
+  }
+  for (LocalIndex i = 0; i < b.NumLocalPages(); ++i) {
+    if (a.Contains(b.GlobalId(i))) continue;  // Shared page: knowledge identical.
+    pages.push_back(b.GlobalId(i));
+    const auto succ = b.Successors(i);
+    successors.emplace_back(succ.begin(), succ.end());
+  }
+  return FromKnowledge(std::move(pages), std::move(successors));
+}
+
+std::vector<PageId> Subgraph::AllSuccessors() const {
+  std::vector<PageId> all(succ_.begin(), succ_.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+void Subgraph::BuildDerivedIndexes() {
+  local_index_.clear();
+  local_index_.reserve(pages_.size() * 2);
+  for (LocalIndex i = 0; i < pages_.size(); ++i) local_index_[pages_[i]] = i;
+
+  local_out_offsets_.assign(pages_.size() + 1, 0);
+  local_out_targets_.clear();
+  for (LocalIndex i = 0; i < pages_.size(); ++i) {
+    for (PageId target : Successors(i)) {
+      const LocalIndex t = LocalIndexOf(target);
+      if (t != kNotLocal) local_out_targets_.push_back(t);
+    }
+    local_out_offsets_[i + 1] = local_out_targets_.size();
+  }
+}
+
+}  // namespace graph
+}  // namespace jxp

@@ -1,0 +1,121 @@
+#ifndef JXP_GRAPH_SUBGRAPH_H_
+#define JXP_GRAPH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace jxp {
+namespace graph {
+
+/// A peer's local Web fragment.
+///
+/// A Subgraph holds a set of crawled pages (identified by their global
+/// PageIds) together with the *complete out-link knowledge* of those pages: a
+/// crawler that fetched page p saw every link on p, so the fragment knows all
+/// successors of its local pages — both the local ones (targets inside the
+/// fragment) and the external ones (targets the peer has not crawled). That
+/// is exactly the knowledge the JXP world node needs: links from local pages
+/// to external pages become links to the world node.
+///
+/// Local pages are addressed by a dense local index [0, NumLocalPages()); the
+/// mapping to global PageIds is exposed both ways.
+class Subgraph {
+ public:
+  /// Dense index of a page within this fragment.
+  using LocalIndex = uint32_t;
+
+  /// Sentinel for "not a local page".
+  static constexpr LocalIndex kNotLocal = static_cast<LocalIndex>(-1);
+
+  Subgraph() = default;
+
+  /// Builds the fragment holding `pages` (deduplicated, any order) of the
+  /// global graph, copying each page's full successor list from `global`.
+  static Subgraph Induce(const Graph& global, std::vector<PageId> pages);
+
+  /// Builds a fragment from explicit out-link knowledge: `successors[i]` is
+  /// the complete successor list (global ids, any order) of `pages[i]`.
+  static Subgraph FromKnowledge(std::vector<PageId> pages,
+                                std::vector<std::vector<PageId>> successors);
+
+  /// Merges two fragments (the paper's full-merge step): the page set is the
+  /// union, and each page keeps its full successor knowledge. Pages known to
+  /// both peers must agree on their successor lists, which holds by
+  /// construction since both crawled the same global page.
+  static Subgraph Merge(const Subgraph& a, const Subgraph& b);
+
+  /// Number of local pages.
+  size_t NumLocalPages() const { return pages_.size(); }
+
+  /// Number of intra-fragment links.
+  size_t NumLocalEdges() const { return local_out_targets_.size(); }
+
+  /// Number of links from local pages to external pages.
+  size_t NumExternalOutEdges() const { return succ_.size() - local_out_targets_.size(); }
+
+  /// Global id of a local page.
+  PageId GlobalId(LocalIndex i) const {
+    JXP_CHECK_LT(i, pages_.size());
+    return pages_[i];
+  }
+
+  /// All local pages, sorted by global id ascending.
+  std::span<const PageId> Pages() const { return pages_; }
+
+  /// Local index of a global page, or kNotLocal.
+  LocalIndex LocalIndexOf(PageId global) const {
+    const auto it = local_index_.find(global);
+    return it == local_index_.end() ? kNotLocal : it->second;
+  }
+
+  /// True iff the fragment contains `global`.
+  bool Contains(PageId global) const { return local_index_.count(global) > 0; }
+
+  /// The complete successor list (global ids, sorted) of local page `i` —
+  /// the page's true global out-links.
+  std::span<const PageId> Successors(LocalIndex i) const {
+    JXP_CHECK_LT(i, pages_.size());
+    return {succ_.data() + succ_offsets_[i], succ_.data() + succ_offsets_[i + 1]};
+  }
+
+  /// The page's true global out-degree (local + external successors).
+  size_t GlobalOutDegree(LocalIndex i) const { return Successors(i).size(); }
+
+  /// Successors of `i` that are themselves local pages, as local indices.
+  std::span<const LocalIndex> LocalOutNeighbors(LocalIndex i) const {
+    JXP_CHECK_LT(i, pages_.size());
+    return {local_out_targets_.data() + local_out_offsets_[i],
+            local_out_targets_.data() + local_out_offsets_[i + 1]};
+  }
+
+  /// Number of successors of `i` that are external pages.
+  size_t NumExternalSuccessors(LocalIndex i) const {
+    return GlobalOutDegree(i) - LocalOutNeighbors(i).size();
+  }
+
+  /// The union of all successor lists, as sorted unique global ids. This is
+  /// the `successors(A)` set used by the pre-meetings synopsis (Section 4.3).
+  std::vector<PageId> AllSuccessors() const;
+
+ private:
+  /// Rebuilds local_index_ and the local adjacency CSR from pages_ / succ_.
+  void BuildDerivedIndexes();
+
+  std::vector<PageId> pages_;
+  std::unordered_map<PageId, LocalIndex> local_index_;
+  // CSR over pages_ of complete successor lists (global ids, sorted).
+  std::vector<uint64_t> succ_offsets_ = {0};
+  std::vector<PageId> succ_;
+  // CSR over pages_ of intra-fragment adjacency (local indices).
+  std::vector<uint64_t> local_out_offsets_ = {0};
+  std::vector<LocalIndex> local_out_targets_;
+};
+
+}  // namespace graph
+}  // namespace jxp
+
+#endif  // JXP_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,81 @@
+#include "markov/gauss_seidel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jxp {
+namespace markov {
+
+PowerIterationResult GaussSeidelStationary(const SparseMatrix& matrix,
+                                           const std::vector<double>& teleport,
+                                           const std::vector<double>& dangling,
+                                           const std::vector<double>& init,
+                                           const PowerIterationOptions& options) {
+  const size_t n = matrix.NumStates();
+  JXP_CHECK_GT(n, 0u);
+  JXP_CHECK_EQ(teleport.size(), n);
+  JXP_CHECK_EQ(dangling.size(), n);
+
+  // Transpose into per-column incoming lists; the diagonal is split out so
+  // the update can solve for x_j exactly.
+  std::vector<std::vector<MatrixEntry>> incoming(n);
+  std::vector<double> diagonal(n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const MatrixEntry& e : matrix.Row(i)) {
+      if (e.column == i) {
+        diagonal[i] += e.weight;
+      } else {
+        incoming[e.column].push_back({i, e.weight});
+      }
+    }
+  }
+
+  PowerIterationResult result;
+  std::vector<double>& x = result.distribution;
+  if (init.empty()) {
+    x.assign(n, 1.0 / static_cast<double>(n));
+  } else {
+    JXP_CHECK_EQ(init.size(), n);
+    x = init;
+  }
+
+  const double eps = options.damping;
+  const double jump = 1.0 - eps;
+  // Missing (dangling) mass, maintained incrementally across updates.
+  double missing = 0;
+  for (size_t i = 0; i < n; ++i) missing += x[i] * (1.0 - matrix.RowSum(i));
+
+  for (result.iterations = 0; result.iterations < options.max_iterations;) {
+    double residual = 0;
+    for (uint32_t j = 0; j < n; ++j) {
+      double inflow = 0;
+      for (const MatrixEntry& e : incoming[j]) inflow += x[e.column] * e.weight;
+      const double lost_j = 1.0 - matrix.RowSum(j);
+      const double missing_without_j = missing - x[j] * lost_j;
+      const double denominator = 1.0 - eps * diagonal[j] - eps * lost_j * dangling[j];
+      JXP_CHECK_GT(denominator, 0.0);
+      const double updated =
+          (eps * (inflow + missing_without_j * dangling[j]) + jump * teleport[j]) /
+          denominator;
+      residual += std::abs(updated - x[j]);
+      missing += (updated - x[j]) * lost_j;
+      x[j] = updated;
+    }
+    ++result.iterations;
+    result.residual = residual;
+    if (residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Normalize (Gauss-Seidel preserves the fixpoint, not intermediate sums).
+  double sum = 0;
+  for (double v : x) sum += v;
+  if (sum > 0) {
+    for (double& v : x) v /= sum;
+  }
+  return result;
+}
+
+}  // namespace markov
+}  // namespace jxp

@@ -1,0 +1,32 @@
+#ifndef JXP_MARKOV_GAUSS_SEIDEL_H_
+#define JXP_MARKOV_GAUSS_SEIDEL_H_
+
+#include "markov/power_iteration.h"
+
+namespace jxp {
+namespace markov {
+
+/// Gauss-Seidel solver for the damped stationary equation
+///
+///   x = damping * (x P + m(x) dangling) + (1 - damping) teleport
+///
+/// updating components in place. On slowly-mixing chains (real Web graphs,
+/// whose second eigenvalue is close to the damping factor) in-place updates
+/// propagate mass much faster than Jacobi-style power iteration — the
+/// "efficient PageRank computation" line of related work the paper cites;
+/// on rapidly-mixing graphs the two are comparable and ordering effects can
+/// even favor Jacobi. Needs the matrix in column-accessible form, so a
+/// transposed copy is built once.
+///
+/// Semantics and parameters mirror StationaryDistribution; results agree to
+/// the tolerance.
+PowerIterationResult GaussSeidelStationary(const SparseMatrix& matrix,
+                                           const std::vector<double>& teleport,
+                                           const std::vector<double>& dangling,
+                                           const std::vector<double>& init,
+                                           const PowerIterationOptions& options);
+
+}  // namespace markov
+}  // namespace jxp
+
+#endif  // JXP_MARKOV_GAUSS_SEIDEL_H_

@@ -1,0 +1,93 @@
+#include "markov/power_iteration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jxp {
+namespace markov {
+
+namespace {
+
+/// Normalizes v to sum 1; falls back to uniform when the sum is 0.
+void NormalizeL1(std::vector<double>& v) {
+  double sum = 0;
+  for (double x : v) sum += x;
+  if (sum <= 0) {
+    std::fill(v.begin(), v.end(), 1.0 / static_cast<double>(v.size()));
+    return;
+  }
+  for (double& x : v) x /= sum;
+}
+
+double CheckDistribution(const std::vector<double>& v, size_t n, const char* what) {
+  JXP_CHECK_EQ(v.size(), n) << what << " has wrong size";
+  double sum = 0;
+  for (double x : v) {
+    JXP_CHECK_GE(x, 0.0) << what << " has a negative entry";
+    sum += x;
+  }
+  JXP_CHECK(std::abs(sum - 1.0) < 1e-6) << what << " does not sum to 1 (sum=" << sum << ")";
+  return sum;
+}
+
+}  // namespace
+
+PowerIterationResult StationaryDistribution(const SparseMatrix& matrix,
+                                            const std::vector<double>& teleport,
+                                            const std::vector<double>& dangling,
+                                            const std::vector<double>& init,
+                                            const PowerIterationOptions& options) {
+  const size_t n = matrix.NumStates();
+  JXP_CHECK_GT(n, 0u);
+  JXP_CHECK_GT(options.damping, 0.0);
+  JXP_CHECK_LE(options.damping, 1.0);
+  CheckDistribution(teleport, n, "teleport");
+  CheckDistribution(dangling, n, "dangling");
+
+  PowerIterationResult result;
+  std::vector<double>& x = result.distribution;
+  if (init.empty()) {
+    x.assign(n, 1.0 / static_cast<double>(n));
+  } else {
+    JXP_CHECK_EQ(init.size(), n);
+    x = init;
+    NormalizeL1(x);
+  }
+
+  std::vector<double> next(n);
+  const double jump = 1.0 - options.damping;
+  for (result.iterations = 0; result.iterations < options.max_iterations;) {
+    matrix.LeftMultiply(x, next);
+    // Mass lost to substochastic rows.
+    double missing = 0;
+    for (size_t i = 0; i < n; ++i) missing += x[i] * (1.0 - matrix.RowSum(i));
+    if (missing < 0) missing = 0;
+    double residual = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double v =
+          options.damping * (next[i] + missing * dangling[i]) + jump * teleport[i];
+      residual += std::abs(v - x[i]);
+      next[i] = v;
+    }
+    x.swap(next);
+    ++result.iterations;
+    result.residual = residual;
+    if (residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Counter floating-point drift so downstream sums are exact.
+  NormalizeL1(x);
+  return result;
+}
+
+PowerIterationResult StationaryDistribution(const SparseMatrix& matrix,
+                                            const PowerIterationOptions& options) {
+  const std::vector<double> uniform(matrix.NumStates(),
+                                    1.0 / static_cast<double>(matrix.NumStates()));
+  return StationaryDistribution(matrix, uniform, uniform, {}, options);
+}
+
+}  // namespace markov
+}  // namespace jxp

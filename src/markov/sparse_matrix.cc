@@ -1,0 +1,62 @@
+#include "markov/sparse_matrix.h"
+
+#include <algorithm>
+
+namespace jxp {
+namespace markov {
+
+void SparseMatrix::LeftMultiply(std::span<const double> x, std::span<double> y) const {
+  JXP_CHECK_EQ(x.size(), NumStates());
+  JXP_CHECK_EQ(y.size(), NumStates());
+  std::fill(y.begin(), y.end(), 0.0);
+  for (uint32_t i = 0; i < NumStates(); ++i) {
+    const double xi = x[i];
+    if (xi == 0) continue;
+    for (const MatrixEntry& e : Row(i)) y[e.column] += xi * e.weight;
+  }
+}
+
+void SparseMatrixBuilder::Add(uint32_t row, uint32_t column, double weight) {
+  JXP_CHECK_LT(row, num_states_);
+  JXP_CHECK_LT(column, num_states_);
+  JXP_CHECK_GE(weight, 0.0);
+  rows_[row].push_back({column, weight});
+}
+
+SparseMatrix SparseMatrixBuilder::Build() {
+  SparseMatrix m;
+  m.row_offsets_.assign(num_states_ + 1, 0);
+  m.row_sums_.assign(num_states_, 0.0);
+  size_t total = 0;
+  for (auto& row : rows_) {
+    // Merge duplicate columns.
+    std::sort(row.begin(), row.end(),
+              [](const MatrixEntry& a, const MatrixEntry& b) { return a.column < b.column; });
+    size_t w = 0;
+    for (size_t r = 0; r < row.size(); ++r) {
+      if (w > 0 && row[w - 1].column == row[r].column) {
+        row[w - 1].weight += row[r].weight;
+      } else {
+        row[w++] = row[r];
+      }
+    }
+    row.resize(w);
+    total += w;
+  }
+  m.entries_.reserve(total);
+  for (size_t i = 0; i < num_states_; ++i) {
+    double sum = 0;
+    for (const MatrixEntry& e : rows_[i]) {
+      m.entries_.push_back(e);
+      sum += e.weight;
+    }
+    JXP_CHECK_LE(sum, 1.0 + 1e-9) << "row " << i << " is super-stochastic";
+    m.row_sums_[i] = sum;
+    m.row_offsets_[i + 1] = m.entries_.size();
+  }
+  rows_.clear();
+  return m;
+}
+
+}  // namespace markov
+}  // namespace jxp

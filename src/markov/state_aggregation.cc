@@ -1,0 +1,39 @@
+#include "markov/state_aggregation.h"
+
+namespace jxp {
+namespace markov {
+
+StatusOr<AggregatedChain> AggregateChain(const std::vector<std::vector<double>>& p,
+                                         const std::vector<double>& pi,
+                                         const std::vector<uint32_t>& block_of,
+                                         uint32_t num_blocks) {
+  const size_t n = p.size();
+  if (pi.size() != n || block_of.size() != n) {
+    return Status::InvalidArgument("pi/block_of size mismatch");
+  }
+  AggregatedChain out;
+  out.block_mass.assign(num_blocks, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (block_of[i] >= num_blocks) return Status::InvalidArgument("block id out of range");
+    out.block_mass[block_of[i]] += pi[i];
+  }
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    if (out.block_mass[b] <= 0) {
+      return Status::FailedPrecondition("block " + std::to_string(b) +
+                                        " has zero stationary mass");
+    }
+  }
+  out.transitions.assign(num_blocks, std::vector<double>(num_blocks, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i].size() != n) return Status::InvalidArgument("matrix is not square");
+    const uint32_t a = block_of[i];
+    const double weight = pi[i] / out.block_mass[a];
+    for (size_t j = 0; j < n; ++j) {
+      out.transitions[a][block_of[j]] += weight * p[i][j];
+    }
+  }
+  return out;
+}
+
+}  // namespace markov
+}  // namespace jxp

@@ -1,0 +1,44 @@
+#ifndef JXP_MARKOV_STATE_AGGREGATION_H_
+#define JXP_MARKOV_STATE_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "markov/sparse_matrix.h"
+
+namespace jxp {
+namespace markov {
+
+/// Exact state aggregation (lumping) of a Markov chain, the theory the JXP
+/// world node builds on (paper Section 5, after Courtois/Meyer/Stewart).
+///
+/// Given a chain P with stationary distribution pi and a partition of the
+/// states into blocks, the aggregated chain has one state per block and
+/// transition probabilities
+///
+///   Q[A][B] = sum_{i in A} (pi_i / pi_A) * sum_{j in B} P[i][j]
+///
+/// Its stationary distribution equals the block sums of pi — which is why a
+/// peer that aggregates all external pages into one world node with the
+/// *correct* external scores observes the exact local stationary mass.
+struct AggregatedChain {
+  /// Aggregated transition matrix, one row per block.
+  std::vector<std::vector<double>> transitions;
+  /// Stationary mass per block (block sums of pi).
+  std::vector<double> block_mass;
+};
+
+/// Computes the exact aggregation of the chain `p` (dense, rows sum to 1)
+/// under `block_of` (block id per state, dense ids 0..num_blocks-1), using
+/// stationary weights `pi`. Returns InvalidArgument on shape errors and
+/// FailedPrecondition if some block has zero stationary mass.
+StatusOr<AggregatedChain> AggregateChain(const std::vector<std::vector<double>>& p,
+                                         const std::vector<double>& pi,
+                                         const std::vector<uint32_t>& block_of,
+                                         uint32_t num_blocks);
+
+}  // namespace markov
+}  // namespace jxp
+
+#endif  // JXP_MARKOV_STATE_AGGREGATION_H_

@@ -1,0 +1,113 @@
+#include "p2p/chord.h"
+
+#include "common/hash.h"
+
+namespace jxp {
+namespace p2p {
+
+ChordRing::ChordRing(uint64_t seed) : seed_(seed) {}
+
+uint64_t ChordRing::PositionOf(PeerId peer) const {
+  return Mix64(static_cast<uint64_t>(peer) ^ seed_);
+}
+
+Status ChordRing::Join(PeerId peer) {
+  const uint64_t pos = PositionOf(peer);
+  if (position_of_.count(peer)) {
+    return Status::AlreadyExists("peer " + std::to_string(peer) + " already on ring");
+  }
+  JXP_CHECK(ring_.emplace(pos, peer).second) << "ring position collision";
+  position_of_[peer] = pos;
+  // The newcomer builds its own fingers; existing peers keep possibly stale
+  // tables until the next Stabilize(), as in real Chord.
+  std::vector<PeerId>& table = fingers_[peer];
+  table.assign(kNumFingers, peer);
+  for (size_t i = 0; i < kNumFingers; ++i) {
+    const uint64_t target = pos + (i == 63 ? (uint64_t{1} << 63) : (uint64_t{1} << i));
+    table[i] = SuccessorIt(target)->second;
+  }
+  return Status::OK();
+}
+
+Status ChordRing::Leave(PeerId peer) {
+  const auto it = position_of_.find(peer);
+  if (it == position_of_.end()) {
+    return Status::NotFound("peer " + std::to_string(peer) + " not on ring");
+  }
+  ring_.erase(it->second);
+  position_of_.erase(it);
+  fingers_.erase(peer);
+  return Status::OK();
+}
+
+std::map<uint64_t, PeerId>::const_iterator ChordRing::SuccessorIt(uint64_t pos) const {
+  JXP_CHECK(!ring_.empty()) << "empty ring";
+  auto it = ring_.lower_bound(pos);
+  if (it == ring_.end()) it = ring_.begin();  // Wrap around.
+  return it;
+}
+
+PeerId ChordRing::OwnerOf(uint64_t key) const { return SuccessorIt(key)->second; }
+
+bool ChordRing::InInterval(uint64_t x, uint64_t from, uint64_t to) {
+  // Half-open ring interval (from, to]; degenerate (x, x] is the full ring.
+  if (from < to) return x > from && x <= to;
+  return x > from || x <= to;
+}
+
+ChordRing::LookupResult ChordRing::Lookup(uint64_t key, PeerId start) const {
+  JXP_CHECK(Contains(start)) << "lookup from a peer not on the ring";
+  LookupResult result;
+  PeerId current = start;
+  // A routing-loop guard far above the O(log n) expectation.
+  const size_t max_hops = 2 * kNumFingers + ring_.size();
+  while (true) {
+    const uint64_t current_pos = position_of_.at(current);
+    // Does `current`'s immediate successor own the key?
+    auto successor_it = SuccessorIt(current_pos + 1);
+    if (InInterval(key, current_pos, successor_it->first)) {
+      result.owner = successor_it->second;
+      if (result.owner != current) ++result.hops;
+      return result;
+    }
+    if (current_pos == key) {  // Exact hit: current owns it.
+      result.owner = current;
+      return result;
+    }
+    // Closest preceding finger: the farthest finger that does not overshoot
+    // the key.
+    PeerId next = successor_it->second;  // Fallback: plain successor walk.
+    const auto finger_it = fingers_.find(current);
+    if (finger_it != fingers_.end()) {
+      for (size_t i = kNumFingers; i-- > 0;) {
+        const PeerId candidate = finger_it->second[i];
+        const auto cand_pos_it = position_of_.find(candidate);
+        if (cand_pos_it == position_of_.end()) continue;  // Departed peer.
+        if (InInterval(cand_pos_it->second, current_pos, key - 1)) {
+          next = candidate;
+          break;
+        }
+      }
+    }
+    if (next == current) {
+      result.owner = current;
+      return result;
+    }
+    current = next;
+    ++result.hops;
+    JXP_CHECK_LE(result.hops, max_hops) << "routing loop";
+  }
+}
+
+void ChordRing::Stabilize() {
+  for (auto& [peer, table] : fingers_) {
+    const uint64_t pos = position_of_.at(peer);
+    for (size_t i = 0; i < kNumFingers; ++i) {
+      const uint64_t target = pos + (i == 63 ? (uint64_t{1} << 63) : (uint64_t{1} << i));
+      table[i] = SuccessorIt(target)->second;
+    }
+  }
+}
+
+}  // namespace p2p
+}  // namespace jxp

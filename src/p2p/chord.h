@@ -1,0 +1,91 @@
+#ifndef JXP_P2P_CHORD_H_
+#define JXP_P2P_CHORD_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "p2p/network.h"
+
+namespace jxp {
+namespace p2p {
+
+/// A simulated Chord ring (Stoica et al., SIGCOMM 2001) — the structured
+/// P2P lookup substrate referenced by the paper's P2P-infrastructure
+/// citations and used by Minerva-class systems to maintain a distributed
+/// directory of per-term peer statistics.
+///
+/// Peers hash onto a 64-bit identifier ring; a key is owned by its
+/// *successor* (the first peer clockwise from the key). Each peer keeps a
+/// finger table (peer closest to position id + 2^i for each i), giving
+/// O(log n) routing hops. Joins and leaves keep ownership correct
+/// immediately; finger tables are refreshed by Stabilize(), and lookups
+/// remain correct (if slower) with stale fingers because routing always
+/// falls back to ring successors.
+class ChordRing {
+ public:
+  /// Result of a routed lookup.
+  struct LookupResult {
+    /// The peer owning the key.
+    PeerId owner = kInvalidPeer;
+    /// Routing hops taken (0 when the start node already owns the key).
+    size_t hops = 0;
+  };
+
+  /// `seed` salts the position hash (the same peer set hashes to the same
+  /// ring for the same seed).
+  explicit ChordRing(uint64_t seed = 0xc4c1d0);
+
+  /// Adds a peer to the ring. Returns AlreadyExists if present.
+  Status Join(PeerId peer);
+
+  /// Removes a peer. Returns NotFound if absent.
+  Status Leave(PeerId peer);
+
+  /// True iff the peer is on the ring.
+  bool Contains(PeerId peer) const { return position_of_.count(peer) > 0; }
+
+  /// Number of peers on the ring.
+  size_t NumPeers() const { return ring_.size(); }
+
+  /// The peer owning `key` (ground truth, no routing). Requires a
+  /// non-empty ring.
+  PeerId OwnerOf(uint64_t key) const;
+
+  /// Routes from `start`'s finger table toward the owner of `key`,
+  /// counting hops. `start` must be on the ring.
+  LookupResult Lookup(uint64_t key, PeerId start) const;
+
+  /// Rebuilds all finger tables (Chord's periodic stabilization, run to
+  /// completion). Called automatically by the constructor path only; tests
+  /// exercise lookups both with fresh and stale fingers.
+  void Stabilize();
+
+  /// Ring position of a peer (its hashed id).
+  uint64_t PositionOf(PeerId peer) const;
+
+  /// Number of finger-table entries per peer (fixed: 64).
+  static constexpr size_t kNumFingers = 64;
+
+ private:
+  /// First ring position >= pos (wrapping), as an iterator into ring_.
+  std::map<uint64_t, PeerId>::const_iterator SuccessorIt(uint64_t pos) const;
+
+  /// True iff `x` lies in the half-open ring interval (from, to].
+  static bool InInterval(uint64_t x, uint64_t from, uint64_t to);
+
+  uint64_t seed_;
+  /// position -> peer, sorted around the ring.
+  std::map<uint64_t, PeerId> ring_;
+  std::unordered_map<PeerId, uint64_t> position_of_;
+  /// Finger tables: peer -> kNumFingers entries (peer ids); possibly stale
+  /// after joins/leaves until Stabilize().
+  std::unordered_map<PeerId, std::vector<PeerId>> fingers_;
+};
+
+}  // namespace p2p
+}  // namespace jxp
+
+#endif  // JXP_P2P_CHORD_H_

@@ -1,0 +1,30 @@
+#include "p2p/churn.h"
+
+namespace jxp {
+namespace p2p {
+
+ChurnEvent ChurnModel::Step(Network& network) {
+  if (network.NumAlive() > options_.min_alive && rng_.NextBool(options_.leave_probability)) {
+    const PeerId victim = network.RandomAlivePeer(rng_, kInvalidPeer);
+    network.Leave(victim);
+    return {ChurnEventType::kLeave, victim};
+  }
+  const size_t departed = network.NumPeers() - network.NumAlive();
+  if (departed > 0 && rng_.NextBool(options_.join_probability)) {
+    // Pick a random departed peer.
+    size_t nth = static_cast<size_t>(rng_.NextBounded(departed));
+    for (PeerId p = 0; p < network.NumPeers(); ++p) {
+      if (!network.IsAlive(p)) {
+        if (nth == 0) {
+          network.Rejoin(p);
+          return {ChurnEventType::kJoin, p};
+        }
+        --nth;
+      }
+    }
+  }
+  return {ChurnEventType::kNone, kInvalidPeer};
+}
+
+}  // namespace p2p
+}  // namespace jxp

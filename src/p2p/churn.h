@@ -1,0 +1,51 @@
+#ifndef JXP_P2P_CHURN_H_
+#define JXP_P2P_CHURN_H_
+
+#include "common/random.h"
+#include "p2p/network.h"
+
+namespace jxp {
+namespace p2p {
+
+/// What happened in one churn step.
+enum class ChurnEventType {
+  kNone,
+  kLeave,
+  kJoin,
+};
+
+struct ChurnEvent {
+  ChurnEventType type = ChurnEventType::kNone;
+  PeerId peer = kInvalidPeer;
+};
+
+/// A simple churn model (paper Section 7 future work, implemented here):
+/// before each meeting round, with probability `leave_probability` a random
+/// alive peer departs, and with probability `join_probability` a random
+/// departed peer re-joins. A floor on the alive count prevents the overlay
+/// from dying out.
+class ChurnModel {
+ public:
+  struct Options {
+    double leave_probability = 0.0;
+    double join_probability = 0.0;
+    /// Never drop below this many alive peers.
+    size_t min_alive = 2;
+  };
+
+  ChurnModel(Options options, uint64_t seed) : options_(options), rng_(seed) {}
+
+  /// Samples and *applies* one churn step against the network, returning
+  /// what happened. At most one event occurs per step (leave is tried
+  /// first).
+  ChurnEvent Step(Network& network);
+
+ private:
+  Options options_;
+  Random rng_;
+};
+
+}  // namespace p2p
+}  // namespace jxp
+
+#endif  // JXP_P2P_CHURN_H_

@@ -1,0 +1,54 @@
+#include "p2p/network.h"
+
+namespace jxp {
+namespace p2p {
+
+PeerId Network::AddPeer() {
+  alive_.push_back(true);
+  traffic_.emplace_back();
+  ++num_alive_;
+  return static_cast<PeerId>(alive_.size() - 1);
+}
+
+void Network::Leave(PeerId peer) {
+  JXP_CHECK_LT(peer, alive_.size());
+  JXP_CHECK(alive_[peer]) << "peer " << peer << " already departed";
+  alive_[peer] = false;
+  --num_alive_;
+}
+
+void Network::Rejoin(PeerId peer) {
+  JXP_CHECK_LT(peer, alive_.size());
+  JXP_CHECK(!alive_[peer]) << "peer " << peer << " already alive";
+  alive_[peer] = true;
+  ++num_alive_;
+}
+
+std::vector<PeerId> Network::AlivePeers() const {
+  std::vector<PeerId> peers;
+  peers.reserve(num_alive_);
+  for (PeerId p = 0; p < alive_.size(); ++p) {
+    if (alive_[p]) peers.push_back(p);
+  }
+  return peers;
+}
+
+PeerId Network::RandomAlivePeer(Random& rng, PeerId exclude) const {
+  size_t eligible = num_alive_;
+  if (exclude != kInvalidPeer && exclude < alive_.size() && alive_[exclude]) --eligible;
+  JXP_CHECK_GT(eligible, 0u) << "no eligible peer to pick";
+  // Rejection sampling; the alive fraction is high in all our simulations.
+  while (true) {
+    const PeerId p = static_cast<PeerId>(rng.NextBounded(alive_.size()));
+    if (alive_[p] && p != exclude) return p;
+  }
+}
+
+double Network::TotalTrafficBytes() const {
+  double total = 0;
+  for (const PeerTraffic& t : traffic_) total += t.total_bytes;
+  return total;
+}
+
+}  // namespace p2p
+}  // namespace jxp

@@ -1,0 +1,94 @@
+#ifndef JXP_P2P_NETWORK_H_
+#define JXP_P2P_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace jxp {
+namespace p2p {
+
+/// Identifier of a peer in the network.
+using PeerId = uint32_t;
+
+/// Sentinel for "no peer".
+inline constexpr PeerId kInvalidPeer = static_cast<PeerId>(-1);
+
+/// Per-peer network traffic bookkeeping: the bytes each of the peer's
+/// meetings moved (both directions), in meeting order. Figures 11/12 plot
+/// quartiles of this series across peers.
+struct PeerTraffic {
+  /// bytes_per_meeting[m] = bytes exchanged in the peer's m-th meeting.
+  std::vector<double> bytes_per_meeting;
+  /// Total bytes over all meetings.
+  double total_bytes = 0;
+
+  void RecordMeeting(double bytes) {
+    bytes_per_meeting.push_back(bytes);
+    total_bytes += bytes;
+  }
+};
+
+/// Registry of peers in a simulated P2P overlay: which peers are alive, and
+/// how much traffic each has caused. Peer state itself (graphs, scores)
+/// lives with the application (core::JxpNetwork); this class models overlay
+/// membership — including churn — and the wire.
+class Network {
+ public:
+  Network() = default;
+
+  /// Adds a peer and returns its id. Peers join alive.
+  PeerId AddPeer();
+
+  /// Marks a peer as departed. Its traffic history is retained.
+  void Leave(PeerId peer);
+
+  /// Re-joins a departed peer.
+  void Rejoin(PeerId peer);
+
+  /// True iff the peer is currently alive.
+  bool IsAlive(PeerId peer) const {
+    JXP_CHECK_LT(peer, alive_.size());
+    return alive_[peer];
+  }
+
+  /// Number of peers ever added.
+  size_t NumPeers() const { return alive_.size(); }
+
+  /// Number of currently alive peers.
+  size_t NumAlive() const { return num_alive_; }
+
+  /// Ids of all currently alive peers, ascending.
+  std::vector<PeerId> AlivePeers() const;
+
+  /// A uniformly random alive peer different from `exclude` (pass
+  /// kInvalidPeer for no exclusion). Requires at least one eligible peer.
+  PeerId RandomAlivePeer(Random& rng, PeerId exclude) const;
+
+  /// Records that a meeting of `peer` moved `bytes` bytes.
+  void RecordMeetingTraffic(PeerId peer, double bytes) {
+    JXP_CHECK_LT(peer, traffic_.size());
+    traffic_[peer].RecordMeeting(bytes);
+  }
+
+  /// Traffic history of a peer.
+  const PeerTraffic& TrafficOf(PeerId peer) const {
+    JXP_CHECK_LT(peer, traffic_.size());
+    return traffic_[peer];
+  }
+
+  /// Total bytes moved by all meetings so far.
+  double TotalTrafficBytes() const;
+
+ private:
+  std::vector<bool> alive_;
+  std::vector<PeerTraffic> traffic_;
+  size_t num_alive_ = 0;
+};
+
+}  // namespace p2p
+}  // namespace jxp
+
+#endif  // JXP_P2P_NETWORK_H_

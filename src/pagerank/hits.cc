@@ -1,0 +1,66 @@
+#include "pagerank/hits.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace jxp {
+namespace pagerank {
+
+namespace {
+
+void NormalizeL1(std::vector<double>& v) {
+  double sum = 0;
+  for (double x : v) sum += x;
+  if (sum <= 0) {
+    std::fill(v.begin(), v.end(), 1.0 / static_cast<double>(v.size()));
+    return;
+  }
+  for (double& x : v) x /= sum;
+}
+
+}  // namespace
+
+HitsResult ComputeHits(const graph::Graph& g, const HitsOptions& options) {
+  const size_t n = g.NumNodes();
+  JXP_CHECK_GT(n, 0u);
+  HitsResult result;
+  result.authority.assign(n, 1.0 / static_cast<double>(n));
+  result.hub.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+
+  for (result.iterations = 0; result.iterations < options.max_iterations;) {
+    // Authority update: a(p) = sum of hub scores of predecessors.
+    std::fill(next.begin(), next.end(), 0.0);
+    for (graph::PageId u = 0; u < n; ++u) {
+      const double h = result.hub[u];
+      if (h == 0) continue;
+      for (graph::PageId v : g.OutNeighbors(u)) next[v] += h;
+    }
+    NormalizeL1(next);
+    double residual = 0;
+    for (size_t i = 0; i < n; ++i) residual += std::abs(next[i] - result.authority[i]);
+    result.authority.swap(next);
+
+    // Hub update: h(p) = sum of authority scores of successors.
+    std::fill(next.begin(), next.end(), 0.0);
+    for (graph::PageId u = 0; u < n; ++u) {
+      double sum = 0;
+      for (graph::PageId v : g.OutNeighbors(u)) sum += result.authority[v];
+      next[u] = sum;
+    }
+    NormalizeL1(next);
+    result.hub.swap(next);
+
+    ++result.iterations;
+    if (residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pagerank
+}  // namespace jxp

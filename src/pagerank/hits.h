@@ -1,0 +1,38 @@
+#ifndef JXP_PAGERANK_HITS_H_
+#define JXP_PAGERANK_HITS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace jxp {
+namespace pagerank {
+
+/// Options for the HITS computation.
+struct HitsOptions {
+  /// L1 convergence threshold on the authority vector.
+  double tolerance = 1e-10;
+  /// Iteration cap.
+  int max_iterations = 200;
+};
+
+/// Result of a HITS computation.
+struct HitsResult {
+  /// Authority score per page (sums to 1).
+  std::vector<double> authority;
+  /// Hub score per page (sums to 1).
+  std::vector<double> hub;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Kleinberg's HITS, the other seminal Eigenvector-based link-analysis
+/// method the paper builds its motivation on: authorities are pages pointed
+/// to by good hubs, hubs are pages pointing to good authorities. Computed
+/// by alternating power iteration on A^T A / A A^T with L1 normalization.
+HitsResult ComputeHits(const graph::Graph& g, const HitsOptions& options);
+
+}  // namespace pagerank
+}  // namespace jxp
+
+#endif  // JXP_PAGERANK_HITS_H_

@@ -1,0 +1,104 @@
+#include "pagerank/opic.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace jxp {
+namespace pagerank {
+
+OpicResult ComputeOpic(const graph::Graph& g, const OpicOptions& options, Random& rng) {
+  const size_t n = g.NumNodes();
+  JXP_CHECK_GT(n, 0u);
+  JXP_CHECK_GT(options.damping, 0.0);
+  JXP_CHECK_LE(options.damping, 1.0);
+  const uint32_t root = static_cast<uint32_t>(n);  // The virtual root page.
+  const double eps = options.damping;
+
+  std::vector<double> cash(n + 1, 1.0 / static_cast<double>(n + 1));
+  std::vector<double> history(n + 1, 0.0);
+
+  // Lazy max-heap of (cash-at-push, node) for the greedy policy; stale
+  // entries (whose value no longer matches the node's cash) are skipped.
+  using HeapEntry = std::pair<double, uint32_t>;
+  std::priority_queue<HeapEntry> heap;
+  if (options.policy == OpicOptions::Policy::kGreedy) {
+    for (uint32_t p = 0; p <= n; ++p) heap.emplace(cash[p], p);
+  }
+
+  // Lazy-heap compaction bound: stale entries accumulate (every credit
+  // pushes one, and a root visit credits all n pages), so the heap is
+  // rebuilt from the live cash values when it outgrows this factor.
+  const size_t max_heap_size = 16 * (n + 1) + 1024;
+  auto credit = [&](uint32_t node, double amount) {
+    cash[node] += amount;
+    if (options.policy == OpicOptions::Policy::kGreedy) {
+      heap.emplace(cash[node], node);
+      if (heap.size() > max_heap_size) {
+        std::priority_queue<HeapEntry> fresh;
+        for (uint32_t p = 0; p <= n; ++p) {
+          if (cash[p] > 0) fresh.emplace(cash[p], p);
+        }
+        heap.swap(fresh);
+      }
+    }
+  };
+
+  OpicResult result;
+  for (size_t visit = 0; visit < options.num_visits; ++visit) {
+    uint32_t page;
+    if (options.policy == OpicOptions::Policy::kRandom) {
+      page = static_cast<uint32_t>(rng.NextBounded(n + 1));
+    } else {
+      // Pop until a fresh entry surfaces.
+      while (true) {
+        JXP_CHECK(!heap.empty());
+        const auto [value, node] = heap.top();
+        heap.pop();
+        if (value == cash[node] && value > 0) {
+          page = node;
+          break;
+        }
+      }
+    }
+    const double c = cash[page];
+    if (c == 0 && options.policy == OpicOptions::Policy::kRandom) {
+      continue;  // Nothing to distribute; not counted as progress.
+    }
+    history[page] += c;
+    cash[page] = 0;
+    ++result.visits;
+
+    if (page == root) {
+      // The root endorses every page uniformly.
+      const double share = c / static_cast<double>(n);
+      for (uint32_t q = 0; q < n; ++q) credit(q, share);
+      continue;
+    }
+    const auto successors = g.OutNeighbors(page);
+    if (successors.empty()) {
+      credit(root, c);  // Dangling: everything through the root.
+      continue;
+    }
+    credit(root, (1.0 - eps) * c);
+    const double share = eps * c / static_cast<double>(successors.size());
+    for (graph::PageId q : successors) credit(q, share);
+  }
+
+  // Importance = normalized credit history over the real pages. Add the
+  // still-undistributed cash so short runs are less biased toward the pages
+  // visited first (the paper's "history + cash" estimator).
+  result.importance.assign(n, 0.0);
+  double total = 0;
+  for (uint32_t p = 0; p < n; ++p) {
+    result.importance[p] = history[p] + cash[p];
+    total += result.importance[p];
+  }
+  if (total > 0) {
+    for (double& v : result.importance) v /= total;
+  }
+  return result;
+}
+
+}  // namespace pagerank
+}  // namespace jxp

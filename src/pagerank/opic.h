@@ -1,0 +1,55 @@
+#ifndef JXP_PAGERANK_OPIC_H_
+#define JXP_PAGERANK_OPIC_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace jxp {
+namespace pagerank {
+
+/// Options for the OPIC computation.
+struct OpicOptions {
+  /// Total page visits to simulate (the "long-running crawl process").
+  size_t num_visits = 100000;
+  /// Probability of following a real link; 1 - damping of each visited
+  /// page's cash flows to the virtual root (the random-jump equivalent).
+  double damping = 0.85;
+  /// Page-visit policy.
+  enum class Policy {
+    /// Visit pages uniformly at random ("randomly... visiting Web pages").
+    kRandom,
+    /// Visit the page with the largest accumulated cash ("or otherwise
+    /// fairly"); converges faster.
+    kGreedy,
+  };
+  Policy policy = Policy::kGreedy;
+};
+
+/// Result of an OPIC run.
+struct OpicResult {
+  /// importance[p] ~ accumulated credit history of p, normalized to sum 1.
+  /// Approximates the PageRank-style importance without damping.
+  std::vector<double> importance;
+  size_t visits = 0;
+};
+
+/// OPIC — Adaptive On-Line Page Importance Computation (Abiteboul, Preda,
+/// Cobena; WWW 2003), one of the storage-efficient alternatives the paper
+/// contrasts JXP with (Section 2.2) and whose fairness argument Theorem 5.4
+/// re-uses. Each page holds "cash"; visiting a page distributes its cash to
+/// its successors and credits the page's history. The history vector
+/// converges to the importance (stationary) vector provided every page is
+/// visited infinitely often — the same fairness notion as JXP's meetings.
+///
+/// This implementation adds the standard virtual root page to guarantee
+/// ergodicity (every page implicitly links to the root and the root links
+/// to every page), mirroring PageRank's random jump; dangling pages send
+/// all cash to the root.
+OpicResult ComputeOpic(const graph::Graph& g, const OpicOptions& options, Random& rng);
+
+}  // namespace pagerank
+}  // namespace jxp
+
+#endif  // JXP_PAGERANK_OPIC_H_

@@ -1,0 +1,36 @@
+#include "pagerank/personalized.h"
+
+#include <unordered_set>
+
+namespace jxp {
+namespace pagerank {
+
+PageRankResult ComputePersonalizedPageRank(const graph::Graph& g,
+                                           std::span<const graph::PageId> teleport_set,
+                                           const PageRankOptions& options) {
+  JXP_CHECK_GT(g.NumNodes(), 0u);
+  JXP_CHECK(!teleport_set.empty()) << "empty teleport set";
+  std::unordered_set<graph::PageId> unique(teleport_set.begin(), teleport_set.end());
+  std::vector<double> teleport(g.NumNodes(), 0.0);
+  const double share = 1.0 / static_cast<double>(unique.size());
+  for (graph::PageId p : unique) {
+    JXP_CHECK_LT(p, g.NumNodes());
+    teleport[p] = share;
+  }
+
+  const markov::SparseMatrix matrix = BuildLinkMatrix(g);
+  markov::PowerIterationOptions pi_options;
+  pi_options.damping = options.damping;
+  pi_options.tolerance = options.tolerance;
+  pi_options.max_iterations = options.max_iterations;
+  markov::PowerIterationResult pi =
+      StationaryDistribution(matrix, teleport, teleport, {}, pi_options);
+  PageRankResult result;
+  result.scores = std::move(pi.distribution);
+  result.iterations = pi.iterations;
+  result.converged = pi.converged;
+  return result;
+}
+
+}  // namespace pagerank
+}  // namespace jxp

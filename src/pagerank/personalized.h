@@ -1,0 +1,25 @@
+#ifndef JXP_PAGERANK_PERSONALIZED_H_
+#define JXP_PAGERANK_PERSONALIZED_H_
+
+#include <span>
+
+#include "pagerank/pagerank.h"
+
+namespace jxp {
+namespace pagerank {
+
+/// Topic-sensitive PageRank (Haveliwala): the random jump lands only on the
+/// pages of `teleport_set` instead of uniformly on the whole Web, biasing
+/// authority toward a topic — the personalization the paper's introduction
+/// motivates for peers acting as "personalized power search engines".
+/// Dangling mass follows the same personalized distribution.
+///
+/// `teleport_set` must be non-empty; duplicates are counted once.
+PageRankResult ComputePersonalizedPageRank(const graph::Graph& g,
+                                           std::span<const graph::PageId> teleport_set,
+                                           const PageRankOptions& options);
+
+}  // namespace pagerank
+}  // namespace jxp
+
+#endif  // JXP_PAGERANK_PERSONALIZED_H_

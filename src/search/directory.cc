@@ -1,0 +1,51 @@
+#include "search/directory.h"
+
+#include "common/hash.h"
+
+namespace jxp {
+namespace search {
+
+namespace {
+/// Wire size of one routed post message: term key (8) + peer id (4) +
+/// df (4) + jxp mass (8).
+constexpr double kPostBytes = 8 + 4 + 4 + 8;
+}  // namespace
+
+DhtDirectory::DhtDirectory(const p2p::ChordRing* ring) : ring_(ring) {
+  JXP_CHECK(ring_ != nullptr);
+}
+
+uint64_t DhtDirectory::KeyOf(TermId term) {
+  return Mix64(static_cast<uint64_t>(term) + 0x7e21b6c3d5ULL);
+}
+
+void DhtDirectory::Publish(TermId term, const TermPost& post) {
+  JXP_CHECK(ring_->Contains(post.peer)) << "publisher not on the ring";
+  const p2p::ChordRing::LookupResult route = ring_->Lookup(KeyOf(term), post.peer);
+  publish_hops_ += route.hops;
+  wire_bytes_ += kPostBytes * static_cast<double>(route.hops + 1);
+  std::vector<TermPost>& posts = posts_[term];
+  for (TermPost& existing : posts) {
+    if (existing.peer == post.peer) {
+      existing = post;
+      return;
+    }
+  }
+  posts.push_back(post);
+}
+
+const std::vector<TermPost>& DhtDirectory::Lookup(TermId term,
+                                                  p2p::PeerId asking_peer) const {
+  JXP_CHECK(ring_->Contains(asking_peer)) << "asker not on the ring";
+  const p2p::ChordRing::LookupResult route = ring_->Lookup(KeyOf(term), asking_peer);
+  lookup_hops_ += route.hops;
+  const auto it = posts_.find(term);
+  const std::vector<TermPost>& result = it == posts_.end() ? empty_ : it->second;
+  // Request travels hops; the response carries the posts back.
+  wire_bytes_ += 8.0 * static_cast<double>(route.hops + 1) +
+                 kPostBytes * static_cast<double>(result.size());
+  return result;
+}
+
+}  // namespace search
+}  // namespace jxp

@@ -1,0 +1,67 @@
+#ifndef JXP_SEARCH_DIRECTORY_H_
+#define JXP_SEARCH_DIRECTORY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "p2p/chord.h"
+#include "search/corpus.h"
+
+namespace jxp {
+namespace search {
+
+/// One peer's published statistics for one term.
+struct TermPost {
+  p2p::PeerId peer = p2p::kInvalidPeer;
+  /// Number of the peer's documents containing the term.
+  uint32_t document_frequency = 0;
+  /// Summed JXP authority of the peer's pages containing the term (powers
+  /// the JXP-guided routing policy).
+  double jxp_mass = 0;
+};
+
+/// The Minerva-style distributed directory: for every term, the peer owning
+/// hash(term) on the Chord ring stores the per-peer statistics posts. Peers
+/// publish their posts and fetch other peers' posts by routed DHT lookups;
+/// the directory accounts the routing hops and wire bytes these operations
+/// cost.
+class DhtDirectory {
+ public:
+  /// The ring must outlive the directory.
+  explicit DhtDirectory(const p2p::ChordRing* ring);
+
+  /// Publishes (or refreshes) `post` for `term`, routed from the posting
+  /// peer. A repeated publish from the same peer replaces its old post.
+  void Publish(TermId term, const TermPost& post);
+
+  /// All posts for `term` (empty if none), fetched by a routed lookup from
+  /// `asking_peer`.
+  const std::vector<TermPost>& Lookup(TermId term, p2p::PeerId asking_peer) const;
+
+  /// Cumulative routing hops spent on publishes and lookups.
+  size_t total_publish_hops() const { return publish_hops_; }
+  size_t total_lookup_hops() const { return lookup_hops_; }
+
+  /// Cumulative wire bytes (each post: 8-byte term key + 4 + 4 + 8 payload,
+  /// once per routing hop).
+  double total_wire_bytes() const { return wire_bytes_; }
+
+  /// Number of terms with at least one post.
+  size_t NumTerms() const { return posts_.size(); }
+
+  /// DHT key of a term.
+  static uint64_t KeyOf(TermId term);
+
+ private:
+  const p2p::ChordRing* ring_;
+  std::unordered_map<TermId, std::vector<TermPost>> posts_;
+  mutable size_t publish_hops_ = 0;
+  mutable size_t lookup_hops_ = 0;
+  mutable double wire_bytes_ = 0;
+  std::vector<TermPost> empty_;
+};
+
+}  // namespace search
+}  // namespace jxp
+
+#endif  // JXP_SEARCH_DIRECTORY_H_

@@ -1,0 +1,14 @@
+#include "search/index.h"
+
+namespace jxp {
+namespace search {
+
+void PeerIndex::AddDocument(const Document& doc) {
+  for (const auto& [term, tf] : doc.terms) {
+    postings_[term].push_back({doc.page, tf});
+  }
+  ++num_documents_;
+}
+
+}  // namespace search
+}  // namespace jxp

@@ -1,0 +1,63 @@
+#ifndef JXP_SEARCH_INDEX_H_
+#define JXP_SEARCH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "p2p/network.h"
+#include "search/corpus.h"
+
+namespace jxp {
+namespace search {
+
+/// One inverted-index posting: a document and the term's frequency in it.
+struct Posting {
+  graph::PageId page = graph::kInvalidPage;
+  uint32_t tf = 0;
+};
+
+/// A peer's local inverted index over the documents of its crawled pages
+/// (each Minerva peer is "a full-fledged search engine with its own crawler,
+/// indexer, and query processor").
+class PeerIndex {
+ public:
+  explicit PeerIndex(p2p::PeerId owner) : owner_(owner) {}
+
+  /// Indexes one document.
+  void AddDocument(const Document& doc);
+
+  /// Postings of a term, or nullptr if the peer has none.
+  const std::vector<Posting>* PostingsFor(TermId term) const {
+    const auto it = postings_.find(term);
+    return it == postings_.end() ? nullptr : &it->second;
+  }
+
+  /// Peer-local document frequency of a term (the per-peer statistics that
+  /// drive query routing).
+  uint32_t LocalDocumentFrequency(TermId term) const {
+    const auto it = postings_.find(term);
+    return it == postings_.end() ? 0 : static_cast<uint32_t>(it->second.size());
+  }
+
+  /// Number of indexed documents.
+  size_t NumDocuments() const { return num_documents_; }
+
+  /// All posting lists (term -> postings), e.g. for publishing per-term
+  /// statistics into the distributed directory.
+  const std::unordered_map<TermId, std::vector<Posting>>& postings() const {
+    return postings_;
+  }
+
+  /// Owning peer.
+  p2p::PeerId owner() const { return owner_; }
+
+ private:
+  p2p::PeerId owner_;
+  std::unordered_map<TermId, std::vector<Posting>> postings_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace search
+}  // namespace jxp
+
+#endif  // JXP_SEARCH_INDEX_H_

@@ -1,0 +1,109 @@
+#include "search/threshold_top_k.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace jxp {
+namespace search {
+
+namespace {
+
+/// Per-term contribution of a document: (1 + log tf) * idf; 0 when absent.
+double TermScore(const Document& doc, TermId term, double idf) {
+  const auto it = std::lower_bound(
+      doc.terms.begin(), doc.terms.end(), term,
+      [](const std::pair<TermId, uint32_t>& e, TermId t) { return e.first < t; });
+  if (it == doc.terms.end() || it->first != term) return 0;
+  return (1.0 + std::log(static_cast<double>(it->second))) * idf;
+}
+
+}  // namespace
+
+ThresholdTopKResult ThresholdTopK(const PeerIndex& index, const Corpus& corpus,
+                                  std::span<const TermId> query, size_t k) {
+  ThresholdTopKResult out;
+  JXP_CHECK_GT(k, 0u);
+  const double num_docs = static_cast<double>(corpus.NumDocuments());
+
+  // Materialize the sorted-access views: per query term, postings ordered
+  // by descending per-term score. (A production index would store impact-
+  // ordered lists; building them here keeps the index layout simple.)
+  struct SortedList {
+    TermId term = 0;
+    double idf = 0;
+    std::vector<std::pair<double, graph::PageId>> entries;  // Descending.
+    size_t cursor = 0;
+  };
+  std::vector<SortedList> lists;
+  for (TermId term : query) {
+    const std::vector<Posting>* postings = index.PostingsFor(term);
+    if (postings == nullptr) continue;
+    const uint32_t df = corpus.DocumentFrequency(term);
+    if (df == 0) continue;
+    SortedList list;
+    list.term = term;
+    list.idf = std::log(num_docs / static_cast<double>(df));
+    list.entries.reserve(postings->size());
+    for (const Posting& posting : *postings) {
+      list.entries.emplace_back(
+          (1.0 + std::log(static_cast<double>(posting.tf))) * list.idf, posting.page);
+    }
+    std::sort(list.entries.begin(), list.entries.end(), std::greater<>());
+    lists.push_back(std::move(list));
+  }
+  if (lists.empty()) return out;
+
+  // Top-k bookkeeping: smallest of the current top-k at the front.
+  std::vector<std::pair<double, graph::PageId>> top;  // Min-heap by score.
+  const auto heap_greater = std::greater<>();
+  std::unordered_set<graph::PageId> seen;
+
+  bool exhausted = false;
+  while (!exhausted) {
+    exhausted = true;
+    double threshold = 0;
+    for (SortedList& list : lists) {
+      if (list.cursor >= list.entries.size()) continue;
+      exhausted = false;
+      const auto [score, page] = list.entries[list.cursor];
+      ++list.cursor;
+      ++out.sorted_accesses;
+      threshold += score;
+      if (seen.insert(page).second) {
+        // Random accesses: full aggregated score across all query terms.
+        double full = 0;
+        const Document& doc = corpus.DocumentFor(page);
+        for (const SortedList& other : lists) {
+          full += TermScore(doc, other.term, other.idf);
+          ++out.random_accesses;
+        }
+        if (top.size() < k) {
+          top.emplace_back(full, page);
+          std::push_heap(top.begin(), top.end(), heap_greater);
+        } else if (full > top.front().first) {
+          std::pop_heap(top.begin(), top.end(), heap_greater);
+          top.back() = {full, page};
+          std::push_heap(top.begin(), top.end(), heap_greater);
+        }
+      }
+    }
+    // TA stopping rule: no unseen document can beat the current k-th score.
+    if (!exhausted && top.size() == k && top.front().first >= threshold) {
+      out.early_terminated = true;
+      break;
+    }
+  }
+
+  std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  out.results.reserve(top.size());
+  for (const auto& [score, page] : top) out.results.emplace_back(page, score);
+  return out;
+}
+
+}  // namespace search
+}  // namespace jxp

@@ -1,0 +1,42 @@
+#ifndef JXP_SEARCH_THRESHOLD_TOP_K_H_
+#define JXP_SEARCH_THRESHOLD_TOP_K_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "search/corpus.h"
+#include "search/index.h"
+
+namespace jxp {
+namespace search {
+
+/// Result of a threshold-algorithm top-k run.
+struct ThresholdTopKResult {
+  /// (page, aggregated tf*idf score), best first, at most k entries.
+  std::vector<std::pair<graph::PageId, double>> results;
+  /// Sorted accesses performed (posting entries read in score order).
+  size_t sorted_accesses = 0;
+  /// Random accesses performed (full-score probes of candidate pages).
+  size_t random_accesses = 0;
+  /// True when the algorithm stopped before exhausting the posting lists.
+  bool early_terminated = false;
+};
+
+/// Fagin's Threshold Algorithm (TA) over a peer's inverted index: finds the
+/// exact top-k documents by aggregated tf*idf without scoring every
+/// candidate. Posting lists are walked in descending per-term score order
+/// (sorted access); each newly seen page is fully scored (random access);
+/// the scan stops as soon as the k-th best full score reaches the threshold
+/// (the aggregated score an unseen document could still achieve).
+///
+/// This is the query-processing style Minerva-class P2P engines use to keep
+/// per-peer work sublinear in the posting-list lengths; the result list is
+/// identical to exhaustive scoring.
+ThresholdTopKResult ThresholdTopK(const PeerIndex& index, const Corpus& corpus,
+                                  std::span<const TermId> query, size_t k);
+
+}  // namespace search
+}  // namespace jxp
+
+#endif  // JXP_SEARCH_THRESHOLD_TOP_K_H_

@@ -1,0 +1,103 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/statusor.h"
+
+namespace jxp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("page 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "page 42");
+  EXPECT_EQ(s.ToString(), "NotFound: page 42");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, OkCodeNormalizesMessage) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+Status FailingFunction() { return Status::IOError("disk on fire"); }
+
+Status Propagates() {
+  JXP_RETURN_IF_ERROR(FailingFunction());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kIOError);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> MaybeInt(bool fail) {
+  if (fail) return Status::OutOfRange("too big");
+  return 7;
+}
+
+StatusOr<int> Doubled(bool fail) {
+  JXP_ASSIGN_OR_RETURN(const int v, MaybeInt(fail));
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnHappyPath) {
+  auto v = Doubled(false);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 14);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesError) {
+  auto v = Doubled(true);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(3);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 3);
+}
+
+}  // namespace
+}  // namespace jxp

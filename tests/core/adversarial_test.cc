@@ -1,0 +1,147 @@
+// Tests for the adversarial-peer extension (the paper's Section 7 open
+// problem): attack models corrupt outgoing meeting messages; honest peers'
+// defenses (mass test + overlap-divergence test) bound the damage.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/jxp_peer.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "pagerank/pagerank.h"
+
+namespace jxp {
+namespace core {
+namespace {
+
+struct AdversarialFixture {
+  AdversarialFixture() {
+    Random rng(71);
+    graph = graph::BarabasiAlbert(120, 3, rng);
+    pagerank::PageRankOptions pr_options;
+    pr_options.tolerance = 1e-14;
+    truth = ComputePageRank(graph, pr_options);
+    // Three overlapping fragments covering the graph.
+    fragments.resize(3);
+    for (graph::PageId p = 0; p < graph.NumNodes(); ++p) {
+      fragments[rng.NextBounded(3)].push_back(p);
+      fragments[rng.NextBounded(3)].push_back(p);  // Heavy overlap.
+    }
+  }
+
+  /// Builds peers: peer 0 runs `attack`; all run `defense`.
+  std::vector<JxpPeer> MakePeers(const AttackOptions& attack,
+                                 const DefenseOptions& defense) {
+    JxpOptions honest;
+    honest.pr_tolerance = 1e-12;
+    honest.defense = defense;
+    JxpOptions evil = honest;
+    evil.attack = attack;
+    std::vector<JxpPeer> peers;
+    for (size_t i = 0; i < fragments.size(); ++i) {
+      peers.emplace_back(static_cast<p2p::PeerId>(i),
+                         graph::Subgraph::Induce(graph, fragments[i]), graph.NumNodes(),
+                         i == 0 ? evil : honest);
+    }
+    return peers;
+  }
+
+  /// Runs random meetings and returns the worst over-estimation factor
+  /// max(alpha/pi) across honest peers' pages.
+  double RunAndMeasureInflation(std::vector<JxpPeer>& peers, int meetings) {
+    Random rng(72);
+    for (int m = 0; m < meetings; ++m) {
+      const size_t a = rng.NextBounded(peers.size());
+      size_t b = rng.NextBounded(peers.size() - 1);
+      if (b >= a) ++b;
+      JxpPeer::Meet(peers[a], peers[b]);
+    }
+    double worst = 0;
+    for (size_t p = 1; p < peers.size(); ++p) {  // Honest peers only.
+      const graph::Subgraph& fragment = peers[p].fragment();
+      for (graph::Subgraph::LocalIndex i = 0; i < fragment.NumLocalPages(); ++i) {
+        const double pi = truth.scores[fragment.GlobalId(i)];
+        worst = std::max(worst, peers[p].local_scores()[i] / pi);
+      }
+    }
+    return worst;
+  }
+
+  graph::Graph graph;
+  pagerank::PageRankResult truth;
+  std::vector<std::vector<graph::PageId>> fragments;
+};
+
+TEST(AdversarialTest, InflationAttackDistortsUndefendedNetwork) {
+  AdversarialFixture fx;
+  AttackOptions attack;
+  attack.type = AttackOptions::Type::kScoreInflation;
+  attack.inflation_factor = 25.0;
+  auto peers = fx.MakePeers(attack, DefenseOptions());  // Defense off.
+  const double inflation = fx.RunAndMeasureInflation(peers, 120);
+  // Honest peers absorbed inflated world knowledge: scores overshoot the
+  // true PageRank substantially.
+  EXPECT_GT(inflation, 1.5);
+}
+
+TEST(AdversarialTest, MassTestStopsInflationAttack) {
+  AdversarialFixture fx;
+  AttackOptions attack;
+  attack.type = AttackOptions::Type::kScoreInflation;
+  attack.inflation_factor = 25.0;
+  DefenseOptions defense;
+  defense.enabled = true;
+  auto peers = fx.MakePeers(attack, defense);
+  const double inflation = fx.RunAndMeasureInflation(peers, 120);
+  EXPECT_LT(inflation, 1.01);
+  // The honest peers actually rejected messages.
+  EXPECT_GT(peers[1].rejected_meetings() + peers[2].rejected_meetings(), 0u);
+}
+
+TEST(AdversarialTest, DivergenceTestCatchesNoiseThatPassesMassTest) {
+  AdversarialFixture fx;
+  AttackOptions attack;
+  attack.type = AttackOptions::Type::kRandomScores;
+  DefenseOptions defense;
+  defense.enabled = true;
+  defense.max_reported_mass = 1e9;  // Disable the mass test: isolate the
+                                    // divergence test.
+  defense.max_overlap_divergence = 8.0;
+  auto peers = fx.MakePeers(attack, defense);
+  fx.RunAndMeasureInflation(peers, 120);
+  EXPECT_GT(peers[1].rejected_meetings() + peers[2].rejected_meetings(), 0u);
+}
+
+TEST(AdversarialTest, DefenseDoesNotRejectHonestPeers) {
+  AdversarialFixture fx;
+  DefenseOptions defense;
+  defense.enabled = true;
+  auto peers = fx.MakePeers(AttackOptions(), defense);  // Everyone honest.
+  const double inflation = fx.RunAndMeasureInflation(peers, 200);
+  for (const JxpPeer& peer : peers) {
+    EXPECT_EQ(peer.rejected_meetings(), 0u) << "false positive at peer " << peer.id();
+  }
+  // And convergence is unharmed (safety bound still holds).
+  EXPECT_LE(inflation, 1.0 + 1e-9);
+}
+
+TEST(AdversarialTest, HonestNetworkAccuracyUnaffectedByDefense) {
+  AdversarialFixture fx;
+  DefenseOptions defense;
+  defense.enabled = true;
+  auto defended = fx.MakePeers(AttackOptions(), defense);
+  auto undefended = fx.MakePeers(AttackOptions(), DefenseOptions());
+  fx.RunAndMeasureInflation(defended, 150);
+  fx.RunAndMeasureInflation(undefended, 150);
+  for (size_t p = 0; p < defended.size(); ++p) {
+    for (size_t i = 0; i < defended[p].local_scores().size(); ++i) {
+      EXPECT_NEAR(defended[p].local_scores()[i], undefended[p].local_scores()[i], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jxp

@@ -1,0 +1,110 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/evaluation.h"
+#include "graph/generators.h"
+#include "metrics/ranking.h"
+
+namespace jxp {
+namespace core {
+namespace {
+
+struct BaselineFixture {
+  BaselineFixture() {
+    Random rng(31);
+    graph::WebGraphParams params;
+    params.num_nodes = 600;
+    params.num_categories = 4;
+    collection = GenerateWebGraph(params, rng);
+    // Disjoint sites: one per category.
+    site_of.resize(collection.graph.NumNodes());
+    for (graph::PageId p = 0; p < collection.graph.NumNodes(); ++p) {
+      site_of[p] = collection.category[p];
+    }
+    truth = ComputePageRank(collection.graph, pagerank::PageRankOptions());
+  }
+
+  AccuracyPoint Evaluate(const std::vector<double>& approx, size_t k = 100) const {
+    std::unordered_map<uint32_t, double> map;
+    for (uint32_t p = 0; p < approx.size(); ++p) map[p] = approx[p];
+    const auto top = metrics::TopK(std::span<const double>(truth.scores), k);
+    return EvaluateAccuracy(map, top);
+  }
+
+  graph::CategorizedGraph collection;
+  std::vector<uint32_t> site_of;
+  pagerank::PageRankResult truth;
+};
+
+TEST(BaselinesTest, ScoresAreDistributions) {
+  BaselineFixture fx;
+  for (const auto& scores :
+       {ServerRankScores(fx.collection.graph, fx.site_of, 4, pagerank::PageRankOptions()),
+        LocalOnlyScores(fx.collection.graph, fx.site_of, 4, pagerank::PageRankOptions())}) {
+    ASSERT_EQ(scores.size(), fx.collection.graph.NumNodes());
+    double sum = 0;
+    for (double s : scores) {
+      EXPECT_GE(s, 0.0);
+      sum += s;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(BaselinesTest, ServerRankBeatsLocalOnlyWhenSiteAuthorityDiffers) {
+  // Two equally sized sites, but every site-1 page endorses site 0's hub:
+  // site 0 carries far more true authority. LocalOnly weights the sites
+  // only by size and misses this; ServerRank's site-level ranking captures
+  // it.
+  graph::GraphBuilder builder(40);
+  for (graph::PageId p = 0; p < 20; ++p) builder.AddEdge(p, (p + 1) % 20);
+  for (graph::PageId p = 20; p < 40; ++p) {
+    builder.AddEdge(p, p == 39 ? 20 : p + 1);
+    builder.AddEdge(p, 0);  // Inter-site endorsement of site 0's hub.
+  }
+  const graph::Graph g = builder.Build();
+  std::vector<uint32_t> site_of(40, 0);
+  for (graph::PageId p = 20; p < 40; ++p) site_of[p] = 1;
+
+  pagerank::PageRankOptions options;
+  options.tolerance = 1e-13;
+  const auto truth = ComputePageRank(g, options);
+  const auto serverrank = ServerRankScores(g, site_of, 2, options);
+  const auto local = LocalOnlyScores(g, site_of, 2, options);
+
+  auto mean_error = [&](const std::vector<double>& approx) {
+    double err = 0;
+    for (graph::PageId p = 0; p < 40; ++p) err += std::abs(approx[p] - truth.scores[p]);
+    return err / 40;
+  };
+  EXPECT_LT(mean_error(serverrank), mean_error(local));
+}
+
+TEST(BaselinesTest, ServerRankApproximatesButDoesNotMatchTruth) {
+  BaselineFixture fx;
+  const auto serverrank =
+      ServerRankScores(fx.collection.graph, fx.site_of, 4, pagerank::PageRankOptions());
+  const AccuracyPoint accuracy = fx.Evaluate(serverrank);
+  // Better than random (footrule well below 1) ...
+  EXPECT_LT(accuracy.footrule, 0.8);
+  // ... but visibly imperfect: the block approximation has inherent error,
+  // which is the gap JXP closes.
+  EXPECT_GT(accuracy.footrule, 1e-4);
+}
+
+TEST(BaselinesTest, SingleSiteServerRankIsExact) {
+  BaselineFixture fx;
+  const std::vector<uint32_t> one_site(fx.collection.graph.NumNodes(), 0);
+  pagerank::PageRankOptions options;
+  options.tolerance = 1e-14;
+  const auto scores = ServerRankScores(fx.collection.graph, one_site, 1, options);
+  for (graph::PageId p = 0; p < fx.collection.graph.NumNodes(); p += 37) {
+    EXPECT_NEAR(scores[p], fx.truth.scores[p], 1e-8) << "page " << p;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jxp

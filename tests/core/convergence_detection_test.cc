@@ -1,0 +1,90 @@
+// Tests for the local convergence heuristic: a peer watches its own
+// (monotone) world score to decide when its view has settled.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/jxp_peer.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+
+namespace jxp {
+namespace core {
+namespace {
+
+struct ConvergenceFixture {
+  ConvergenceFixture() {
+    Random rng(91);
+    graph = graph::BarabasiAlbert(100, 3, rng);
+    std::vector<std::vector<graph::PageId>> fragments(3);
+    for (graph::PageId p = 0; p < graph.NumNodes(); ++p) {
+      fragments[rng.NextBounded(3)].push_back(p);
+      if (rng.NextBool(0.3)) fragments[rng.NextBounded(3)].push_back(p);
+    }
+    JxpOptions options;
+    options.pr_tolerance = 1e-12;
+    for (size_t i = 0; i < 3; ++i) {
+      peers.emplace_back(static_cast<p2p::PeerId>(i),
+                         graph::Subgraph::Induce(graph, fragments[i]), graph.NumNodes(),
+                         options);
+    }
+  }
+
+  void RunMeetings(int count) {
+    Random rng(92);
+    for (int m = 0; m < count; ++m) {
+      const size_t a = rng.NextBounded(3);
+      size_t b = rng.NextBounded(2);
+      if (b >= a) ++b;
+      JxpPeer::Meet(peers[a], peers[b]);
+    }
+  }
+
+  graph::Graph graph;
+  std::vector<JxpPeer> peers;
+};
+
+TEST(ConvergenceDetectionTest, FalseBeforeEnoughMeetings) {
+  ConvergenceFixture fx;
+  EXPECT_FALSE(fx.peers[0].HasLocallyConverged(5, 1e-3));
+  fx.RunMeetings(4);  // Some peer still has < 5 meetings... check peer 0.
+  if (fx.peers[0].num_meetings() < 5) {
+    EXPECT_FALSE(fx.peers[0].HasLocallyConverged(5, 1e9));
+  }
+}
+
+TEST(ConvergenceDetectionTest, DetectsSettledWorldScore) {
+  ConvergenceFixture fx;
+  fx.RunMeetings(300);
+  for (const JxpPeer& peer : fx.peers) {
+    EXPECT_TRUE(peer.HasLocallyConverged(10, 1e-6)) << "peer " << peer.id();
+  }
+}
+
+TEST(ConvergenceDetectionTest, EarlyNetworkIsNotSettled) {
+  ConvergenceFixture fx;
+  fx.RunMeetings(6);
+  // Right after the first meetings the world scores are still moving by
+  // whole percentage points.
+  size_t settled = 0;
+  for (const JxpPeer& peer : fx.peers) {
+    if (peer.num_meetings() >= 3 && peer.HasLocallyConverged(3, 1e-9)) ++settled;
+  }
+  EXPECT_EQ(settled, 0u);
+}
+
+TEST(ConvergenceDetectionTest, HistoryIsMonotoneAndMatchesCount) {
+  ConvergenceFixture fx;
+  fx.RunMeetings(100);
+  for (const JxpPeer& peer : fx.peers) {
+    const auto& history = peer.world_score_history();
+    EXPECT_EQ(history.size(), peer.num_meetings());
+    for (size_t i = 1; i < history.size(); ++i) {
+      EXPECT_LE(history[i], history[i - 1] + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jxp

@@ -1,0 +1,160 @@
+// Property tests for the paper's Section 5 theorems:
+//   Thm 5.1  the world-node score is monotonically non-increasing,
+//   Thm 5.2  the sum of local scores is monotonically non-decreasing,
+//   Thm 5.3  JXP scores never overestimate the true PageRank
+//            (0 < alpha_i <= pi_i, pi_w <= alpha_w < 1),
+//   Thm 5.4  fair meeting sequences converge to the true PageRank.
+// The guarantees cover the light-weight merge (Section 5.3); convergence is
+// additionally checked for the full-merge procedure.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/jxp_peer.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "pagerank/pagerank.h"
+
+namespace jxp {
+namespace core {
+namespace {
+
+struct TheoremCase {
+  uint64_t seed;
+  size_t num_nodes;
+  size_t num_peers;
+  MergeMode merge_mode;
+};
+
+void PrintTo(const TheoremCase& c, std::ostream* os) {
+  *os << "seed=" << c.seed << " nodes=" << c.num_nodes << " peers=" << c.num_peers
+      << " merge=" << (c.merge_mode == MergeMode::kLightWeight ? "light" : "full");
+}
+
+/// Overlapping random fragments that jointly cover the graph: every page
+/// goes to one random peer, then each page is replicated onto further peers
+/// with probability 1/2 per extra copy (up to 2 extras).
+std::vector<std::vector<graph::PageId>> RandomOverlappingFragments(size_t num_nodes,
+                                                                   size_t num_peers,
+                                                                   Random& rng) {
+  std::vector<std::vector<graph::PageId>> fragments(num_peers);
+  for (graph::PageId p = 0; p < num_nodes; ++p) {
+    fragments[rng.NextBounded(num_peers)].push_back(p);
+    for (int extra = 0; extra < 2; ++extra) {
+      if (rng.NextBool(0.5)) fragments[rng.NextBounded(num_peers)].push_back(p);
+    }
+  }
+  for (auto& fragment : fragments) {
+    if (fragment.empty()) fragment.push_back(static_cast<graph::PageId>(
+        rng.NextBounded(num_nodes)));
+  }
+  return fragments;
+}
+
+class JxpTheoremsTest : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(JxpTheoremsTest, SafetyAndLiveness) {
+  const TheoremCase& param = GetParam();
+  Random rng(param.seed);
+  const graph::Graph g = graph::BarabasiAlbert(param.num_nodes, 3, rng);
+
+  JxpOptions options;
+  options.damping = 0.85;
+  options.pr_tolerance = 1e-14;
+  options.pr_max_iterations = 1000;
+  options.merge_mode = param.merge_mode;
+  options.combine_mode = CombineMode::kTakeMax;
+
+  pagerank::PageRankOptions pr_options;
+  pr_options.damping = options.damping;
+  pr_options.tolerance = 1e-14;
+  pr_options.max_iterations = 1000;
+  const pagerank::PageRankResult baseline = ComputePageRank(g, pr_options);
+  ASSERT_TRUE(baseline.converged);
+
+  const auto fragments =
+      RandomOverlappingFragments(param.num_nodes, param.num_peers, rng);
+  std::vector<JxpPeer> peers;
+  peers.reserve(param.num_peers);
+  for (size_t p = 0; p < param.num_peers; ++p) {
+    peers.emplace_back(static_cast<p2p::PeerId>(p),
+                       graph::Subgraph::Induce(g, fragments[p]), g.NumNodes(), options);
+  }
+
+  // True world score per peer: pi_w = 1 - sum of pi over the local pages.
+  std::vector<double> true_world(param.num_peers);
+  for (size_t p = 0; p < param.num_peers; ++p) {
+    double local = 0;
+    for (graph::PageId page : peers[p].fragment().Pages()) {
+      local += baseline.scores[page];
+    }
+    true_world[p] = 1.0 - local;
+  }
+
+  const bool check_monotonicity = param.merge_mode == MergeMode::kLightWeight;
+  constexpr double kMonotoneSlack = 1e-9;
+  constexpr double kUpperBoundSlack = 1e-9;
+
+  std::vector<double> prev_world(param.num_peers);
+  for (size_t p = 0; p < param.num_peers; ++p) prev_world[p] = peers[p].world_score();
+
+  const size_t total_meetings = 150 * param.num_peers;
+  for (size_t m = 0; m < total_meetings; ++m) {
+    const size_t a = rng.NextBounded(param.num_peers);
+    size_t b = rng.NextBounded(param.num_peers - 1);
+    if (b >= a) ++b;
+    JxpPeer::Meet(peers[a], peers[b]);
+
+    for (size_t p : {a, b}) {
+      // Theorem 5.1 / 5.2 (light-weight only).
+      if (check_monotonicity) {
+        EXPECT_LE(peers[p].world_score(), prev_world[p] + kMonotoneSlack)
+            << "world score rose at meeting " << m << " peer " << p;
+      }
+      prev_world[p] = peers[p].world_score();
+      // Theorem 5.3: safety.
+      EXPECT_GE(peers[p].world_score(), true_world[p] - kUpperBoundSlack)
+          << "world score fell below pi_w at meeting " << m << " peer " << p;
+      EXPECT_LT(peers[p].world_score(), 1.0);
+      const graph::Subgraph& fragment = peers[p].fragment();
+      for (graph::Subgraph::LocalIndex i = 0; i < fragment.NumLocalPages(); ++i) {
+        const double alpha = peers[p].local_scores()[i];
+        const double pi = baseline.scores[fragment.GlobalId(i)];
+        EXPECT_GT(alpha, 0.0);
+        EXPECT_LE(alpha, pi + kUpperBoundSlack)
+            << "page " << fragment.GlobalId(i) << " overestimated at meeting " << m;
+      }
+    }
+  }
+
+  // Theorem 5.4: after a fair random meeting sequence the scores are close
+  // to the global PageRank everywhere.
+  double worst = 0;
+  for (const JxpPeer& peer : peers) {
+    const graph::Subgraph& fragment = peer.fragment();
+    for (graph::Subgraph::LocalIndex i = 0; i < fragment.NumLocalPages(); ++i) {
+      worst = std::max(worst, std::abs(peer.local_scores()[i] -
+                                       baseline.scores[fragment.GlobalId(i)]));
+    }
+  }
+  EXPECT_LT(worst, 1e-5) << "JXP scores did not converge to global PR";
+  for (size_t p = 0; p < param.num_peers; ++p) {
+    EXPECT_NEAR(peers[p].world_score(), true_world[p], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JxpTheoremsTest,
+    ::testing::Values(TheoremCase{11, 40, 3, MergeMode::kLightWeight},
+                      TheoremCase{12, 60, 4, MergeMode::kLightWeight},
+                      TheoremCase{13, 80, 5, MergeMode::kLightWeight},
+                      TheoremCase{14, 60, 4, MergeMode::kFullMerge},
+                      TheoremCase{15, 40, 6, MergeMode::kLightWeight},
+                      TheoremCase{16, 100, 4, MergeMode::kFullMerge}));
+
+}  // namespace
+}  // namespace core
+}  // namespace jxp

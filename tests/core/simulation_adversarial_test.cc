@@ -1,0 +1,75 @@
+// Integration tests: adversarial settings driven through JxpSimulation.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/simulation.h"
+#include "crawler/partitioner.h"
+#include "graph/generators.h"
+
+namespace jxp {
+namespace core {
+namespace {
+
+struct AdversarialSimFixture {
+  AdversarialSimFixture() {
+    Random rng(55);
+    graph::WebGraphParams params;
+    params.num_nodes = 500;
+    params.num_categories = 4;
+    collection = GenerateWebGraph(params, rng);
+    crawler::PartitionOptions partition;
+    partition.peers_per_category = 3;
+    partition.crawler.max_pages = 120;
+    fragments = CrawlBasedPartition(collection, partition, rng);
+  }
+
+  graph::CategorizedGraph collection;
+  std::vector<std::vector<graph::PageId>> fragments;
+};
+
+TEST(SimulationAdversarialTest, AttackersDegradeAccuracy) {
+  AdversarialSimFixture fx;
+  auto run = [&](size_t attackers, bool defended) {
+    SimulationConfig config;
+    config.seed = 56;
+    config.eval_top_k = 50;
+    config.num_attackers = attackers;
+    config.attack.type = AttackOptions::Type::kScoreInflation;
+    config.attack.inflation_factor = 30.0;
+    config.jxp.defense.enabled = defended;
+    JxpSimulation sim(fx.collection.graph, fx.fragments, config);
+    sim.RunMeetings(400);
+    return sim.Evaluate().linear_error;
+  };
+  const double clean = run(0, false);
+  const double attacked = run(4, false);
+  const double defended = run(4, true);
+  EXPECT_GT(attacked, 2 * clean);     // Attack visibly distorts scores.
+  EXPECT_LT(defended, attacked / 2);  // Defense recovers most of it.
+}
+
+TEST(SimulationAdversarialTest, DefendedHonestRunMatchesUndefended) {
+  AdversarialSimFixture fx;
+  auto run = [&](bool defended) {
+    SimulationConfig config;
+    config.seed = 57;
+    config.eval_top_k = 50;
+    config.jxp.defense.enabled = defended;
+    JxpSimulation sim(fx.collection.graph, fx.fragments, config);
+    sim.RunMeetings(300);
+    size_t rejected = 0;
+    for (const JxpPeer& peer : sim.peers()) rejected += peer.rejected_meetings();
+    return std::make_pair(sim.Evaluate().linear_error, rejected);
+  };
+  const auto [undefended_error, undefended_rejected] = run(false);
+  const auto [defended_error, defended_rejected] = run(true);
+  EXPECT_EQ(undefended_rejected, 0u);
+  // The defense may reject a handful of asymmetric-knowledge messages early
+  // on; accuracy must remain essentially unchanged.
+  EXPECT_NEAR(defended_error, undefended_error, undefended_error * 0.25 + 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jxp

@@ -1,0 +1,147 @@
+#include "core/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "crawler/partitioner.h"
+#include "graph/generators.h"
+
+namespace jxp {
+namespace core {
+namespace {
+
+/// Small categorized web graph + crawl-based fragments, the paper's setup in
+/// miniature.
+struct SimFixture {
+  SimFixture() {
+    Random rng(77);
+    graph::WebGraphParams params;
+    params.num_nodes = 400;
+    params.num_categories = 4;
+    params.mean_out_degree = 5;
+    collection = GenerateWebGraph(params, rng);
+    crawler::PartitionOptions partition;
+    partition.peers_per_category = 2;
+    partition.crawler.max_pages = 90;
+    fragments = CrawlBasedPartition(collection, partition, rng);
+  }
+
+  graph::CategorizedGraph collection;
+  std::vector<std::vector<graph::PageId>> fragments;
+};
+
+TEST(JxpSimulationTest, ErrorDecreasesWithMeetings) {
+  SimFixture fx;
+  SimulationConfig config;
+  config.seed = 5;
+  config.eval_top_k = 50;
+  JxpSimulation sim(fx.collection.graph, fx.fragments, config);
+
+  const AccuracyPoint initial = sim.Evaluate();
+  sim.RunMeetings(200);
+  const AccuracyPoint later = sim.Evaluate();
+  EXPECT_EQ(sim.meetings_done(), 200u);
+  EXPECT_LT(later.linear_error, initial.linear_error);
+  sim.RunMeetings(600);
+  const AccuracyPoint final_point = sim.Evaluate();
+  EXPECT_LT(final_point.footrule, 0.1);
+  EXPECT_LT(final_point.linear_error, initial.linear_error / 4);
+}
+
+TEST(JxpSimulationTest, DeterministicInSeed) {
+  SimFixture fx;
+  SimulationConfig config;
+  config.seed = 9;
+  config.eval_top_k = 30;
+  JxpSimulation a(fx.collection.graph, fx.fragments, config);
+  JxpSimulation b(fx.collection.graph, fx.fragments, config);
+  a.RunMeetings(50);
+  b.RunMeetings(50);
+  EXPECT_DOUBLE_EQ(a.Evaluate().linear_error, b.Evaluate().linear_error);
+  EXPECT_DOUBLE_EQ(a.network().TotalTrafficBytes(), b.network().TotalTrafficBytes());
+}
+
+TEST(JxpSimulationTest, RecordsTrafficForBothParticipants) {
+  SimFixture fx;
+  SimulationConfig config;
+  config.seed = 3;
+  JxpSimulation sim(fx.collection.graph, fx.fragments, config);
+  sim.RunMeetings(20);
+  size_t meetings_recorded = 0;
+  for (p2p::PeerId p = 0; p < sim.network().NumPeers(); ++p) {
+    meetings_recorded += sim.network().TrafficOf(p).bytes_per_meeting.size();
+  }
+  EXPECT_EQ(meetings_recorded, 40u);  // Two participants per meeting.
+  EXPECT_GT(sim.network().TotalTrafficBytes(), 0.0);
+}
+
+TEST(JxpSimulationTest, PreMeetingStrategyRuns) {
+  SimFixture fx;
+  SimulationConfig config;
+  config.seed = 13;
+  config.strategy = SelectionStrategy::kPreMeetings;
+  config.eval_top_k = 50;
+  JxpSimulation sim(fx.collection.graph, fx.fragments, config);
+  sim.RunMeetings(400);
+  EXPECT_LT(sim.Evaluate().footrule, 0.3);
+}
+
+TEST(JxpSimulationTest, GlobalSizeEstimateOverride) {
+  SimFixture fx;
+  SimulationConfig config;
+  config.seed = 5;
+  config.global_size_estimate = 800;  // 2x the truth.
+  JxpSimulation sim(fx.collection.graph, fx.fragments, config);
+  EXPECT_EQ(sim.peers()[0].global_size(), 800u);
+  sim.RunMeetings(100);  // Still runs and improves.
+  EXPECT_GT(sim.Evaluate().footrule, 0.0);
+}
+
+TEST(JxpSimulationTest, SurvivesChurn) {
+  SimFixture fx;
+  SimulationConfig config;
+  config.seed = 21;
+  config.eval_top_k = 50;
+  config.churn.leave_probability = 0.02;
+  config.churn.join_probability = 0.05;
+  config.churn.min_alive = 3;
+  JxpSimulation sim(fx.collection.graph, fx.fragments, config);
+  sim.RunMeetings(500);
+  // The run completes and the (alive-peer) snapshot is still a reasonable
+  // approximation.
+  EXPECT_LT(sim.Evaluate().footrule, 0.4);
+}
+
+TEST(JxpSimulationTest, ForceLeaveExcludesPeerFromEvaluation) {
+  SimFixture fx;
+  SimulationConfig config;
+  config.seed = 2;
+  JxpSimulation sim(fx.collection.graph, fx.fragments, config);
+  const size_t all = sim.GlobalJxpScores().size();
+  sim.ForceLeave(0);
+  const size_t without = sim.GlobalJxpScores().size();
+  EXPECT_LE(without, all);
+  sim.ForceRejoin(0);
+  EXPECT_EQ(sim.GlobalJxpScores().size(), all);
+}
+
+TEST(JxpSimulationTest, ReplaceFragmentIntegration) {
+  SimFixture fx;
+  SimulationConfig config;
+  config.seed = 31;
+  config.strategy = SelectionStrategy::kPreMeetings;
+  config.jxp.authoritative_refresh = true;
+  JxpSimulation sim(fx.collection.graph, fx.fragments, config);
+  sim.RunMeetings(100);
+  // Peer 0 re-crawls: new random fragment.
+  std::vector<graph::PageId> pages;
+  for (graph::PageId p = 0; p < 120; ++p) pages.push_back(p);
+  sim.ReplaceFragment(0, pages);
+  EXPECT_EQ(sim.peers()[0].fragment().NumLocalPages(), 120u);
+  sim.RunMeetings(100);  // Keeps running after the change.
+  EXPECT_GT(sim.meetings_done(), 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jxp

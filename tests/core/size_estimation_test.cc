@@ -1,0 +1,127 @@
+// Tests for the distributed graph-size estimation extension (dropping the
+// paper's "N is known" assumption via unioned Flajolet-Martin sketches).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/jxp_peer.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "pagerank/pagerank.h"
+
+namespace jxp {
+namespace core {
+namespace {
+
+JxpOptions EstimatingOptions() {
+  JxpOptions options;
+  options.pr_tolerance = 1e-12;
+  options.estimate_global_size = true;
+  options.authoritative_refresh = true;
+  return options;
+}
+
+TEST(SizeEstimationTest, InitialEstimateCoversOwnNeighborhood) {
+  Random rng(1);
+  const graph::Graph g = graph::BarabasiAlbert(2000, 3, rng);
+  std::vector<graph::PageId> pages;
+  for (graph::PageId p = 0; p < 500; ++p) pages.push_back(p);
+  JxpPeer peer(0, graph::Subgraph::Induce(g, pages),
+               /*global_size (initial guess only)=*/501, EstimatingOptions());
+  // The peer knows its 500 pages plus the link targets it saw; the estimate
+  // must be of that order, not the bogus initial guess.
+  EXPECT_GT(peer.global_size(), 400u);
+  EXPECT_LT(peer.global_size(), 2600u);
+}
+
+TEST(SizeEstimationTest, EstimateConvergesThroughMeetings) {
+  Random rng(2);
+  const size_t true_n = 3000;
+  const graph::Graph g = graph::BarabasiAlbert(true_n, 3, rng);
+  // Four peers, disjoint quarters: no single peer sees most of the graph.
+  std::vector<JxpPeer> peers;
+  for (int q = 0; q < 4; ++q) {
+    std::vector<graph::PageId> pages;
+    for (graph::PageId p = static_cast<graph::PageId>(q); p < true_n; p += 4) {
+      pages.push_back(p);
+    }
+    peers.emplace_back(q, graph::Subgraph::Induce(g, pages), /*initial guess=*/800,
+                       EstimatingOptions());
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (size_t a = 0; a < peers.size(); ++a) {
+      for (size_t b = a + 1; b < peers.size(); ++b) {
+        JxpPeer::Meet(peers[a], peers[b]);
+      }
+    }
+  }
+  // FM-sketch standard error with 256 buckets is ~5%; allow 3 sigma.
+  for (const JxpPeer& peer : peers) {
+    EXPECT_NEAR(static_cast<double>(peer.global_size()), static_cast<double>(true_n),
+                true_n * 0.15)
+        << "peer " << peer.id();
+  }
+}
+
+TEST(SizeEstimationTest, ScoresStillConvergeWithEstimatedN) {
+  Random rng(3);
+  const graph::Graph g = graph::BarabasiAlbert(120, 3, rng);
+  pagerank::PageRankOptions pr_options;
+  pr_options.tolerance = 1e-14;
+  pr_options.max_iterations = 1000;
+  const pagerank::PageRankResult truth = ComputePageRank(g, pr_options);
+
+  std::vector<std::vector<graph::PageId>> fragments(3);
+  for (graph::PageId p = 0; p < g.NumNodes(); ++p) {
+    fragments[rng.NextBounded(3)].push_back(p);
+    if (rng.NextBool(0.3)) fragments[rng.NextBounded(3)].push_back(p);
+  }
+  std::vector<JxpPeer> peers;
+  for (size_t i = 0; i < 3; ++i) {
+    peers.emplace_back(static_cast<p2p::PeerId>(i),
+                       graph::Subgraph::Induce(g, fragments[i]),
+                       /*bad initial guess=*/fragments[i].size() + 1,
+                       EstimatingOptions());
+  }
+  for (int m = 0; m < 450; ++m) {
+    const size_t a = rng.NextBounded(3);
+    size_t b = rng.NextBounded(2);
+    if (b >= a) ++b;
+    JxpPeer::Meet(peers[a], peers[b]);
+  }
+  // The sketch estimate of N has ~5% noise, which bounds the achievable
+  // score accuracy (scores are exact only for exact N). Require the ranking
+  // mass to be close in relative terms.
+  for (const JxpPeer& peer : peers) {
+    for (graph::PageId p : peer.fragment().Pages()) {
+      const double alpha = peer.ScoreOfGlobal(p);
+      const double pi = truth.scores[p];
+      EXPECT_NEAR(alpha, pi, 0.30 * pi + 1e-4) << "page " << p;
+    }
+  }
+}
+
+TEST(SizeEstimationTest, SketchBytesCountedInMessages) {
+  Random rng(4);
+  const graph::Graph g = graph::BarabasiAlbert(100, 3, rng);
+  std::vector<graph::PageId> pages;
+  for (graph::PageId p = 0; p < 50; ++p) pages.push_back(p);
+  JxpOptions plain;
+  plain.estimate_global_size = false;
+  JxpPeer without(0, graph::Subgraph::Induce(g, pages), g.NumNodes(), plain);
+  JxpPeer with(1, graph::Subgraph::Induce(g, pages), g.NumNodes(), EstimatingOptions());
+  JxpPeer partner(2, graph::Subgraph::Induce(g, {50, 51, 52}), g.NumNodes(), plain);
+
+  const MeetingOutcome a = JxpPeer::Meet(without, partner);
+  JxpOptions partner_est = EstimatingOptions();
+  JxpPeer partner2(3, graph::Subgraph::Induce(g, {50, 51, 52}), g.NumNodes(),
+                   partner_est);
+  const MeetingOutcome b = JxpPeer::Meet(with, partner2);
+  EXPECT_GT(b.bytes_sent_initiator, a.bytes_sent_initiator);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jxp

@@ -1,0 +1,113 @@
+#include "core/world_node.h"
+
+#include <gtest/gtest.h>
+
+namespace jxp {
+namespace core {
+namespace {
+
+constexpr auto kMax = CombineMode::kTakeMax;
+constexpr auto kAvg = CombineMode::kAverage;
+
+TEST(WorldNodeTest, FirstObservationStoresEverything) {
+  WorldNode w;
+  const std::vector<graph::PageId> targets = {5, 3, 5};  // Dup collapses.
+  w.Observe(10, 4, 0.2, targets, kMax);
+  ASSERT_EQ(w.NumEntries(), 1u);
+  const ExternalPageInfo* info = w.Find(10);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->out_degree, 4u);
+  EXPECT_DOUBLE_EQ(info->score, 0.2);
+  EXPECT_EQ(info->targets, (std::vector<graph::PageId>{3, 5}));
+  EXPECT_EQ(w.NumLinks(), 2u);
+}
+
+TEST(WorldNodeTest, TakeMaxKeepsLargerScore) {
+  WorldNode w;
+  const std::vector<graph::PageId> t = {1};
+  w.Observe(10, 2, 0.3, t, kMax);
+  w.Observe(10, 2, 0.1, t, kMax);
+  EXPECT_DOUBLE_EQ(w.Find(10)->score, 0.3);
+  w.Observe(10, 2, 0.5, t, kMax);
+  EXPECT_DOUBLE_EQ(w.Find(10)->score, 0.5);
+}
+
+TEST(WorldNodeTest, AverageCombines) {
+  WorldNode w;
+  const std::vector<graph::PageId> t = {1};
+  w.Observe(10, 2, 0.4, t, kAvg);
+  w.Observe(10, 2, 0.2, t, kAvg);
+  EXPECT_DOUBLE_EQ(w.Find(10)->score, 0.3);
+}
+
+TEST(WorldNodeTest, AuthoritativeOverwrites) {
+  WorldNode w;
+  const std::vector<graph::PageId> t = {1};
+  w.Observe(10, 2, 0.5, t, kMax);
+  w.Observe(10, 2, 0.1, t, kMax, /*authoritative=*/true);
+  EXPECT_DOUBLE_EQ(w.Find(10)->score, 0.1);
+}
+
+TEST(WorldNodeTest, TargetListsUnion) {
+  WorldNode w;
+  const std::vector<graph::PageId> t1 = {1, 3};
+  const std::vector<graph::PageId> t2 = {2, 3};
+  w.Observe(10, 5, 0.1, t1, kMax);
+  w.Observe(10, 5, 0.1, t2, kMax);
+  EXPECT_EQ(w.Find(10)->targets, (std::vector<graph::PageId>{1, 2, 3}));
+}
+
+TEST(WorldNodeTest, DanglingScores) {
+  WorldNode w;
+  w.ObserveDangling(7, 0.1, kMax);
+  w.ObserveDangling(8, 0.2, kMax);
+  w.ObserveDangling(7, 0.05, kMax);  // Smaller: ignored.
+  EXPECT_DOUBLE_EQ(w.TotalDanglingScore(), 0.3);
+  w.ObserveDangling(7, 0.05, kMax, /*authoritative=*/true);
+  EXPECT_DOUBLE_EQ(w.TotalDanglingScore(), 0.25);
+}
+
+TEST(WorldNodeTest, EraseRemovesBothKinds) {
+  WorldNode w;
+  const std::vector<graph::PageId> t = {1};
+  w.Observe(10, 2, 0.3, t, kMax);
+  w.ObserveDangling(11, 0.2, kMax);
+  w.Erase(10);
+  w.Erase(11);
+  EXPECT_EQ(w.NumEntries(), 0u);
+  EXPECT_DOUBLE_EQ(w.TotalDanglingScore(), 0.0);
+}
+
+TEST(WorldNodeTest, FilterTargetsDropsEmptyEntries) {
+  WorldNode w;
+  const std::vector<graph::PageId> t1 = {1, 2};
+  const std::vector<graph::PageId> t2 = {3};
+  w.Observe(10, 4, 0.1, t1, kMax);
+  w.Observe(11, 4, 0.1, t2, kMax);
+  w.FilterTargets([](graph::PageId t) { return t <= 2; });
+  EXPECT_NE(w.Find(10), nullptr);
+  EXPECT_EQ(w.Find(11), nullptr);
+  EXPECT_EQ(w.Find(10)->targets, (std::vector<graph::PageId>{1, 2}));
+}
+
+TEST(WorldNodeTest, ScaleScores) {
+  WorldNode w;
+  const std::vector<graph::PageId> t = {1};
+  w.Observe(10, 2, 0.4, t, kMax);
+  w.ObserveDangling(11, 0.2, kMax);
+  w.ScaleScores(0.5);
+  EXPECT_DOUBLE_EQ(w.Find(10)->score, 0.2);
+  EXPECT_DOUBLE_EQ(w.TotalDanglingScore(), 0.1);
+}
+
+TEST(WorldNodeTest, WireBytes) {
+  WorldNode w;
+  const std::vector<graph::PageId> t = {1, 2, 3};
+  w.Observe(10, 4, 0.1, t, kMax);
+  w.ObserveDangling(11, 0.2, kMax);
+  EXPECT_DOUBLE_EQ(w.WireBytes(), 20 + 3 * 8 + 16);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jxp

@@ -1,0 +1,57 @@
+#include "datasets/collections.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace jxp {
+namespace datasets {
+namespace {
+
+TEST(CollectionsTest, AmazonLikeShape) {
+  const Collection c = MakeAmazonLike(0.02, 1);  // ~1100 pages.
+  EXPECT_EQ(c.name, "amazon");
+  EXPECT_NEAR(static_cast<double>(c.data.graph.NumNodes()), 55196 * 0.02, 2);
+  EXPECT_EQ(c.data.num_categories, 10u);
+  const double mean_out =
+      static_cast<double>(c.data.graph.NumEdges()) / c.data.graph.NumNodes();
+  EXPECT_GT(mean_out, 3.0);
+  EXPECT_LT(mean_out, 5.5);
+}
+
+TEST(CollectionsTest, WebCrawlLikeIsDenser) {
+  const Collection amazon = MakeAmazonLike(0.02, 1);
+  const Collection web = MakeWebCrawlLike(0.02, 1);
+  EXPECT_EQ(web.name, "webcrawl");
+  const double amazon_density =
+      static_cast<double>(amazon.data.graph.NumEdges()) / amazon.data.graph.NumNodes();
+  const double web_density =
+      static_cast<double>(web.data.graph.NumEdges()) / web.data.graph.NumNodes();
+  EXPECT_GT(web_density, 2 * amazon_density);
+}
+
+TEST(CollectionsTest, PowerLawIndegree) {
+  // Figure 3's property: both collections have near power-law in-degree.
+  for (const Collection& c : {MakeAmazonLike(0.05, 2), MakeWebCrawlLike(0.03, 2)}) {
+    const auto histogram = DegreeHistogram(c.data.graph, graph::DegreeKind::kIn);
+    const double alpha = graph::PowerLawExponentMle(histogram, 4);
+    EXPECT_GT(alpha, 1.2) << c.name;
+    EXPECT_LT(alpha, 4.0) << c.name;
+  }
+}
+
+TEST(CollectionsTest, DeterministicInSeed) {
+  const Collection a = MakeAmazonLike(0.01, 7);
+  const Collection b = MakeAmazonLike(0.01, 7);
+  EXPECT_EQ(a.data.graph.NumEdges(), b.data.graph.NumEdges());
+  EXPECT_EQ(a.data.category, b.data.category);
+}
+
+TEST(CollectionsTest, MinimumSizeFloor) {
+  const Collection tiny = MakeAmazonLike(1e-9, 3);
+  EXPECT_GE(tiny.data.graph.NumNodes(), 200u);
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace jxp

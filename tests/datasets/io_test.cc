@@ -1,0 +1,88 @@
+#include "datasets/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace jxp {
+namespace datasets {
+namespace {
+
+class CollectionIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/collection_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
+  void TearDown() override {
+    std::remove((prefix_ + ".edges").c_str());
+    std::remove((prefix_ + ".categories").c_str());
+  }
+  std::string prefix_;
+};
+
+TEST_F(CollectionIoTest, RoundTrip) {
+  const Collection original = MakeAmazonLike(0.005, 3);
+  ASSERT_TRUE(SaveCollection(original, prefix_).ok());
+  auto loaded = LoadCollection(prefix_, "restored");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->name, "restored");
+  EXPECT_EQ(loaded->data.graph.NumNodes(), original.data.graph.NumNodes());
+  EXPECT_EQ(loaded->data.graph.NumEdges(), original.data.graph.NumEdges());
+  EXPECT_EQ(loaded->data.category, original.data.category);
+  EXPECT_EQ(loaded->data.num_categories, original.data.num_categories);
+  // Spot-check adjacency.
+  for (graph::PageId u = 0; u < original.data.graph.NumNodes(); u += 53) {
+    EXPECT_EQ(loaded->data.graph.OutDegree(u), original.data.graph.OutDegree(u));
+  }
+}
+
+TEST_F(CollectionIoTest, MissingFilesAreIOErrors) {
+  auto loaded = LoadCollection(prefix_, "x");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CollectionIoTest, DetectsTruncatedCategories) {
+  const Collection original = MakeAmazonLike(0.005, 3);
+  ASSERT_TRUE(SaveCollection(original, prefix_).ok());
+  {
+    std::ofstream out(prefix_ + ".categories", std::ios::trunc);
+    out << "categories " << original.data.num_categories << " nodes "
+        << original.data.graph.NumNodes() << "\n0\n1\n";
+  }
+  auto loaded = LoadCollection(prefix_, "x");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CollectionIoTest, DetectsOutOfRangeCategory) {
+  const Collection original = MakeAmazonLike(0.005, 3);
+  ASSERT_TRUE(SaveCollection(original, prefix_).ok());
+  {
+    std::ofstream out(prefix_ + ".categories", std::ios::trunc);
+    out << "categories 2 nodes 1\n7\n";
+  }
+  {
+    std::ofstream out(prefix_ + ".edges", std::ios::trunc);
+    out << "";
+  }
+  auto loaded = LoadCollection(prefix_, "x");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CollectionIoTest, DetectsBadHeader) {
+  {
+    std::ofstream out(prefix_ + ".categories");
+    out << "hello world\n";
+  }
+  auto loaded = LoadCollection(prefix_, "x");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace jxp

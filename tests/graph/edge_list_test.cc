@@ -1,0 +1,78 @@
+#include "graph/edge_list.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace jxp {
+namespace graph {
+namespace {
+
+class EdgeListTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/edges_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(EdgeListTest, RoundTrip) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 0);
+  const Graph original = builder.Build();
+  ASSERT_TRUE(WriteEdgeList(original, path_).ok());
+  auto loaded = ReadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumNodes(), 4u);
+  EXPECT_EQ(loaded->NumEdges(), 3u);
+  EXPECT_TRUE(loaded->HasEdge(3, 0));
+}
+
+TEST_F(EdgeListTest, SkipsCommentsAndBlankLines) {
+  WriteFile("# a comment\n\n0 1\n  # indented comment\n1 2\n");
+  auto g = ReadEdgeList(path_);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST_F(EdgeListTest, MinNodesExtendsGraph) {
+  WriteFile("0 1\n");
+  auto g = ReadEdgeList(path_, 10);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 10u);
+}
+
+TEST_F(EdgeListTest, MalformedLineIsCorruption) {
+  WriteFile("0 1\nnot an edge\n");
+  auto g = ReadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(EdgeListTest, NegativeIdIsCorruption) {
+  WriteFile("0 -1\n");
+  auto g = ReadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(EdgeListTest, MissingFileIsIOError) {
+  auto g = ReadEdgeList(path_ + ".does-not-exist");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace jxp

@@ -1,0 +1,97 @@
+#include "graph/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+
+namespace jxp {
+namespace graph {
+namespace {
+
+Graph Line3() {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  return builder.Build();
+}
+
+TEST(StatsTest, DegreeHistogram) {
+  const Graph g = Line3();
+  const auto out = DegreeHistogram(g, DegreeKind::kOut);
+  EXPECT_EQ(out.at(0), 1u);  // Node 2.
+  EXPECT_EQ(out.at(1), 2u);  // Nodes 0, 1.
+  const auto in = DegreeHistogram(g, DegreeKind::kIn);
+  EXPECT_EQ(in.at(0), 1u);
+  EXPECT_EQ(in.at(1), 2u);
+}
+
+TEST(StatsTest, CountDangling) {
+  EXPECT_EQ(CountDangling(Line3()), 1u);
+}
+
+TEST(StatsTest, LogBinnedHistogramMassPreserved) {
+  std::map<size_t, size_t> histogram = {{1, 100}, {2, 50}, {3, 20}, {10, 5}, {100, 1}};
+  const auto points = LogBinnedHistogram(histogram, 5);
+  double mass = 0;
+  for (const auto& [center, count] : points) mass += count;
+  EXPECT_DOUBLE_EQ(mass, 176.0);
+  // Bin centers ascend.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].first, points[i - 1].first);
+  }
+}
+
+TEST(StatsTest, LogBinnedHistogramSkipsDegreeZero) {
+  std::map<size_t, size_t> histogram = {{0, 7}, {1, 3}};
+  const auto points = LogBinnedHistogram(histogram, 5);
+  double mass = 0;
+  for (const auto& [center, count] : points) mass += count;
+  EXPECT_DOUBLE_EQ(mass, 3.0);
+}
+
+TEST(StatsTest, PowerLawMleRecoversExponent) {
+  // Synthesize an exact power law: count(d) ~ d^-alpha.
+  const double alpha = 2.1;
+  std::map<size_t, size_t> histogram;
+  for (size_t d = 1; d <= 2000; ++d) {
+    histogram[d] = static_cast<size_t>(1e7 * std::pow(static_cast<double>(d), -alpha));
+  }
+  const double estimated = PowerLawExponentMle(histogram, 5);
+  EXPECT_NEAR(estimated, alpha, 0.1);
+}
+
+TEST(StatsTest, PowerLawMleDegenerateCases) {
+  EXPECT_EQ(PowerLawExponentMle({}, 1), 0.0);
+  EXPECT_EQ(PowerLawExponentMle({{1, 1}}, 2), 0.0);
+}
+
+TEST(StatsTest, WeaklyConnectedComponents) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 1);  // {0,1,2} weakly connected.
+  builder.AddEdge(3, 4);  // {3,4}.
+  const Graph g = builder.Build();  // Node 5 isolated.
+  const auto [component, count] = WeaklyConnectedComponents(g);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(component[0], component[1]);
+  EXPECT_EQ(component[1], component[2]);
+  EXPECT_EQ(component[3], component[4]);
+  EXPECT_NE(component[0], component[3]);
+  EXPECT_NE(component[0], component[5]);
+  EXPECT_NEAR(LargestWccFraction(g), 0.5, 1e-12);
+}
+
+TEST(StatsTest, GeneratedWebGraphIsWellConnected) {
+  Random rng(8);
+  WebGraphParams params;
+  params.num_nodes = 2000;
+  const CategorizedGraph cg = GenerateWebGraph(params, rng);
+  EXPECT_GT(LargestWccFraction(cg.graph), 0.95);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace jxp

@@ -1,0 +1,105 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace jxp {
+namespace graph {
+namespace {
+
+/// 0 -> {1,2}, 1 -> {2,3}, 2 -> {0}, 3 -> {4}, 4 -> {}.
+Graph TestGraph() {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(3, 4);
+  return builder.Build();
+}
+
+TEST(SubgraphTest, InduceBasics) {
+  const Graph g = TestGraph();
+  const Subgraph sg = Subgraph::Induce(g, {2, 0, 1, 2});  // Unsorted + dup.
+  EXPECT_EQ(sg.NumLocalPages(), 3u);
+  EXPECT_EQ(sg.GlobalId(0), 0u);
+  EXPECT_EQ(sg.GlobalId(2), 2u);
+  EXPECT_TRUE(sg.Contains(1));
+  EXPECT_FALSE(sg.Contains(3));
+  EXPECT_EQ(sg.LocalIndexOf(4), Subgraph::kNotLocal);
+}
+
+TEST(SubgraphTest, TracksGlobalOutDegreeAndExternalSuccessors) {
+  const Graph g = TestGraph();
+  const Subgraph sg = Subgraph::Induce(g, {0, 1, 2});
+  const Subgraph::LocalIndex i1 = sg.LocalIndexOf(1);
+  // Page 1 points at 2 (local) and 3 (external).
+  EXPECT_EQ(sg.GlobalOutDegree(i1), 2u);
+  EXPECT_EQ(sg.NumExternalSuccessors(i1), 1u);
+  ASSERT_EQ(sg.LocalOutNeighbors(i1).size(), 1u);
+  EXPECT_EQ(sg.GlobalId(sg.LocalOutNeighbors(i1)[0]), 2u);
+}
+
+TEST(SubgraphTest, EdgeCounts) {
+  const Graph g = TestGraph();
+  const Subgraph sg = Subgraph::Induce(g, {0, 1, 2});
+  // Local edges: 0->1, 0->2, 1->2, 2->0. External: 1->3.
+  EXPECT_EQ(sg.NumLocalEdges(), 4u);
+  EXPECT_EQ(sg.NumExternalOutEdges(), 1u);
+}
+
+TEST(SubgraphTest, AllSuccessors) {
+  const Graph g = TestGraph();
+  const Subgraph sg = Subgraph::Induce(g, {0, 1});
+  const std::vector<PageId> successors = sg.AllSuccessors();
+  EXPECT_EQ(successors, (std::vector<PageId>{1, 2, 3}));
+}
+
+TEST(SubgraphTest, FromKnowledgeMatchesInduce) {
+  const Graph g = TestGraph();
+  const Subgraph induced = Subgraph::Induce(g, {0, 1, 2});
+  const Subgraph built = Subgraph::FromKnowledge(
+      {1, 0, 2}, {{3, 2}, {2, 1}, {0}});  // Unsorted pages and successor lists.
+  ASSERT_EQ(built.NumLocalPages(), induced.NumLocalPages());
+  for (Subgraph::LocalIndex i = 0; i < built.NumLocalPages(); ++i) {
+    EXPECT_EQ(built.GlobalId(i), induced.GlobalId(i));
+    const auto bs = built.Successors(i);
+    const auto is = induced.Successors(i);
+    ASSERT_EQ(bs.size(), is.size());
+    for (size_t j = 0; j < bs.size(); ++j) EXPECT_EQ(bs[j], is[j]);
+  }
+}
+
+TEST(SubgraphTest, MergeIsUnionOfKnowledge) {
+  const Graph g = TestGraph();
+  const Subgraph a = Subgraph::Induce(g, {0, 1});
+  const Subgraph b = Subgraph::Induce(g, {1, 2, 3});
+  const Subgraph merged = Subgraph::Merge(a, b);
+  EXPECT_EQ(merged.NumLocalPages(), 4u);  // {0,1,2,3}
+  // The merged fragment equals the induced fragment on the union.
+  const Subgraph expected = Subgraph::Induce(g, {0, 1, 2, 3});
+  EXPECT_EQ(merged.NumLocalEdges(), expected.NumLocalEdges());
+  EXPECT_EQ(merged.NumExternalOutEdges(), expected.NumExternalOutEdges());
+  // 3 -> 4 is still external; 1 -> 3 became local.
+  const Subgraph::LocalIndex i3 = merged.LocalIndexOf(3);
+  EXPECT_EQ(merged.NumExternalSuccessors(i3), 1u);
+}
+
+TEST(SubgraphTest, MergeWithSelfIsIdentity) {
+  const Graph g = TestGraph();
+  const Subgraph a = Subgraph::Induce(g, {0, 1, 2});
+  const Subgraph merged = Subgraph::Merge(a, a);
+  EXPECT_EQ(merged.NumLocalPages(), a.NumLocalPages());
+  EXPECT_EQ(merged.NumLocalEdges(), a.NumLocalEdges());
+}
+
+TEST(SubgraphTest, DanglingLocalPage) {
+  const Graph g = TestGraph();
+  const Subgraph sg = Subgraph::Induce(g, {4});
+  EXPECT_EQ(sg.GlobalOutDegree(0), 0u);
+  EXPECT_EQ(sg.NumExternalSuccessors(0), 0u);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace jxp

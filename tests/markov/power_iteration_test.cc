@@ -1,0 +1,184 @@
+#include "markov/power_iteration.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "markov/dense_solver.h"
+#include "markov/sparse_matrix.h"
+
+namespace jxp {
+namespace markov {
+namespace {
+
+SparseMatrix TwoStateChain(double p_stay_a, double p_stay_b) {
+  SparseMatrixBuilder builder(2);
+  builder.Add(0, 0, p_stay_a);
+  builder.Add(0, 1, 1 - p_stay_a);
+  builder.Add(1, 1, p_stay_b);
+  builder.Add(1, 0, 1 - p_stay_b);
+  return builder.Build();
+}
+
+TEST(SparseMatrixTest, BuildAndAccess) {
+  SparseMatrixBuilder builder(3);
+  builder.Add(0, 1, 0.5);
+  builder.Add(0, 2, 0.25);
+  builder.Add(0, 1, 0.25);  // Accumulates onto (0,1).
+  SparseMatrix m = builder.Build();
+  EXPECT_EQ(m.NumStates(), 3u);
+  EXPECT_EQ(m.NumEntries(), 2u);
+  EXPECT_DOUBLE_EQ(m.RowSum(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.RowSum(1), 0.0);
+  ASSERT_EQ(m.Row(0).size(), 2u);
+  EXPECT_EQ(m.Row(0)[0].column, 1u);
+  EXPECT_DOUBLE_EQ(m.Row(0)[0].weight, 0.75);
+}
+
+TEST(SparseMatrixTest, LeftMultiply) {
+  SparseMatrix m = TwoStateChain(0.5, 1.0);
+  std::vector<double> x = {1.0, 0.0};
+  std::vector<double> y(2);
+  m.LeftMultiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+}
+
+TEST(PowerIterationTest, UndampedTwoStateChain) {
+  // Stationary distribution of the chain (a->b with 0.5, b->a with 0.25):
+  // pi = (1/3, 2/3).
+  SparseMatrix m = TwoStateChain(0.5, 0.75);
+  PowerIterationOptions options;
+  options.damping = 1.0;
+  options.tolerance = 1e-14;
+  PowerIterationResult result = StationaryDistribution(m, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.distribution[0], 1.0 / 3, 1e-10);
+  EXPECT_NEAR(result.distribution[1], 2.0 / 3, 1e-10);
+}
+
+TEST(PowerIterationTest, MatchesDenseSolverOnRandomChain) {
+  // A small dense chain with an ergodic structure.
+  SparseMatrixBuilder builder(5);
+  const double rows[5][5] = {
+      {0.1, 0.2, 0.3, 0.2, 0.2},
+      {0.25, 0.25, 0.25, 0.15, 0.10},
+      {0.0, 0.5, 0.0, 0.5, 0.0},
+      {0.3, 0.0, 0.3, 0.0, 0.4},
+      {0.2, 0.2, 0.2, 0.2, 0.2},
+  };
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (uint32_t j = 0; j < 5; ++j) {
+      if (rows[i][j] > 0) builder.Add(i, j, rows[i][j]);
+    }
+  }
+  SparseMatrix m = builder.Build();
+  PowerIterationOptions options;
+  options.damping = 1.0;
+  options.tolerance = 1e-14;
+  PowerIterationResult iterative = StationaryDistribution(m, options);
+  ASSERT_TRUE(iterative.converged);
+  auto exact = ExactStationaryDistribution(ToDense(m));
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(iterative.distribution[i], exact.value()[i], 1e-10) << "state " << i;
+  }
+}
+
+TEST(PowerIterationTest, DanglingMassRedistributed) {
+  // State 1 is dangling; its mass goes to the dangling distribution.
+  SparseMatrixBuilder builder(2);
+  builder.Add(0, 1, 1.0);
+  SparseMatrix m = builder.Build();
+  const std::vector<double> teleport = {0.5, 0.5};
+  const std::vector<double> dangling = {1.0, 0.0};  // All dangling mass to 0.
+  PowerIterationOptions options;
+  options.damping = 0.85;
+  options.tolerance = 1e-14;
+  PowerIterationResult result =
+      StationaryDistribution(m, teleport, dangling, {}, options);
+  ASSERT_TRUE(result.converged);
+  // Fixpoint: x0 = 0.85 * x1 + 0.15 * 0.5 ; x1 = 0.85 * x0 + 0.15 * 0.5.
+  // Symmetric => x0 = x1 = 0.5.
+  EXPECT_NEAR(result.distribution[0], 0.5, 1e-10);
+  EXPECT_NEAR(result.distribution[1], 0.5, 1e-10);
+}
+
+TEST(PowerIterationTest, DistributionSumsToOne) {
+  SparseMatrixBuilder builder(4);
+  builder.Add(0, 1, 1.0);
+  builder.Add(1, 2, 0.7);
+  builder.Add(1, 0, 0.3);
+  // States 2, 3 dangling.
+  SparseMatrix m = builder.Build();
+  PowerIterationOptions options;
+  PowerIterationResult result = StationaryDistribution(m, options);
+  double sum = 0;
+  for (double v : result.distribution) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(PowerIterationTest, InitDoesNotChangeFixpoint) {
+  SparseMatrix m = TwoStateChain(0.3, 0.6);
+  PowerIterationOptions options;
+  options.damping = 0.85;
+  options.tolerance = 1e-14;
+  const std::vector<double> teleport = {0.5, 0.5};
+  PowerIterationResult from_uniform =
+      StationaryDistribution(m, teleport, teleport, {}, options);
+  PowerIterationResult from_skewed =
+      StationaryDistribution(m, teleport, teleport, {0.99, 0.01}, options);
+  EXPECT_NEAR(from_uniform.distribution[0], from_skewed.distribution[0], 1e-10);
+}
+
+TEST(MeanFirstPassageTest, TwoStateClosedForm) {
+  // m_{0->1} = 1 / P(0->1) for a two-state chain leaving 0 with prob q.
+  const double q = 0.25;
+  std::vector<std::vector<double>> p = {{1 - q, q}, {0.5, 0.5}};
+  auto m = MeanFirstPassageTimes(p, 1);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_NEAR(m.value()[0], 1.0 / q, 1e-10);
+  EXPECT_DOUBLE_EQ(m.value()[1], 0.0);
+}
+
+TEST(MeanFirstPassageTest, MatchesSimulationStructure) {
+  // Line chain 0 -> 1 -> 2 (absorbing-ish walk to the right with return).
+  std::vector<std::vector<double>> p = {
+      {0.5, 0.5, 0.0},
+      {0.25, 0.25, 0.5},
+      {0.0, 0.0, 1.0},
+  };
+  auto m = MeanFirstPassageTimes(p, 2);
+  ASSERT_TRUE(m.ok()) << m.status();
+  // Solve by hand: m1 = 1 + 0.25 m0 + 0.25 m1; m0 = 1 + 0.5 m0 + 0.5 m1
+  // => m0 = 2 + m1; m1 = 1 + 0.25(2 + m1) + 0.25 m1 => 0.5 m1 = 1.5 => m1=3.
+  EXPECT_NEAR(m.value()[1], 3.0, 1e-10);
+  EXPECT_NEAR(m.value()[0], 5.0, 1e-10);
+}
+
+TEST(DenseSolverTest, SolvesRegularSystem) {
+  std::vector<std::vector<double>> a = {{2, 1}, {1, 3}};
+  std::vector<double> b = {3, 5};
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 0.8, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.4, 1e-12);
+}
+
+TEST(DenseSolverTest, ReportsSingularSystem) {
+  std::vector<std::vector<double>> a = {{1, 2}, {2, 4}};
+  std::vector<double> b = {1, 2};
+  auto x = SolveLinearSystem(a, b);
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DenseSolverTest, RejectsDimensionMismatch) {
+  auto x = SolveLinearSystem({{1, 2}}, {1, 2});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace markov
+}  // namespace jxp

@@ -1,0 +1,75 @@
+#include "markov/state_aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "markov/dense_solver.h"
+
+namespace jxp {
+namespace markov {
+namespace {
+
+TEST(StateAggregationTest, BlockMassEqualsStationarySums) {
+  // A 4-state ergodic chain aggregated into two blocks {0,1} and {2,3}:
+  // the aggregated chain's stationary distribution must equal the block
+  // sums of pi. This is the exactness property the JXP world node relies
+  // on (paper Section 5).
+  std::vector<std::vector<double>> p = {
+      {0.1, 0.4, 0.3, 0.2},
+      {0.3, 0.2, 0.2, 0.3},
+      {0.25, 0.25, 0.25, 0.25},
+      {0.4, 0.1, 0.1, 0.4},
+  };
+  auto pi = ExactStationaryDistribution(p);
+  ASSERT_TRUE(pi.ok());
+  auto aggregated = AggregateChain(p, pi.value(), {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(aggregated.ok()) << aggregated.status();
+
+  // The aggregated 2x2 chain is stochastic.
+  for (int b = 0; b < 2; ++b) {
+    double row_sum = 0;
+    for (int c = 0; c < 2; ++c) row_sum += aggregated.value().transitions[b][c];
+    EXPECT_NEAR(row_sum, 1.0, 1e-12);
+  }
+  // Its stationary distribution matches the block masses.
+  auto agg_pi = ExactStationaryDistribution(aggregated.value().transitions);
+  ASSERT_TRUE(agg_pi.ok());
+  EXPECT_NEAR(agg_pi.value()[0], aggregated.value().block_mass[0], 1e-10);
+  EXPECT_NEAR(agg_pi.value()[1], aggregated.value().block_mass[1], 1e-10);
+  EXPECT_NEAR(aggregated.value().block_mass[0],
+              pi.value()[0] + pi.value()[1], 1e-12);
+}
+
+TEST(StateAggregationTest, SingletonBlocksReproduceChain) {
+  std::vector<std::vector<double>> p = {
+      {0.5, 0.5, 0.0},
+      {0.2, 0.3, 0.5},
+      {0.4, 0.4, 0.2},
+  };
+  auto pi = ExactStationaryDistribution(p);
+  ASSERT_TRUE(pi.ok());
+  auto aggregated = AggregateChain(p, pi.value(), {0, 1, 2}, 3);
+  ASSERT_TRUE(aggregated.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(aggregated.value().transitions[i][j], p[i][j], 1e-12);
+    }
+  }
+}
+
+TEST(StateAggregationTest, RejectsBadBlockIds) {
+  std::vector<std::vector<double>> p = {{1.0, 0.0}, {0.0, 1.0}};
+  auto result = AggregateChain(p, {0.5, 0.5}, {0, 5}, 2);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StateAggregationTest, RejectsEmptyBlock) {
+  std::vector<std::vector<double>> p = {{0.5, 0.5}, {0.5, 0.5}};
+  auto result = AggregateChain(p, {0.5, 0.5}, {0, 0}, 2);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace markov
+}  // namespace jxp

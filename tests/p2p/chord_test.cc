@@ -1,0 +1,122 @@
+#include "p2p/chord.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace jxp {
+namespace p2p {
+namespace {
+
+ChordRing MakeRing(size_t num_peers, bool stabilize = true) {
+  ChordRing ring;
+  for (PeerId p = 0; p < num_peers; ++p) JXP_CHECK_OK(ring.Join(p));
+  if (stabilize) ring.Stabilize();
+  return ring;
+}
+
+TEST(ChordTest, JoinLeaveBookkeeping) {
+  ChordRing ring;
+  EXPECT_TRUE(ring.Join(1).ok());
+  EXPECT_TRUE(ring.Join(2).ok());
+  EXPECT_EQ(ring.Join(1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(ring.NumPeers(), 2u);
+  EXPECT_TRUE(ring.Leave(1).ok());
+  EXPECT_EQ(ring.Leave(1).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(ring.Contains(1));
+  EXPECT_TRUE(ring.Contains(2));
+}
+
+TEST(ChordTest, OwnershipIsConsistentHashing) {
+  ChordRing ring = MakeRing(50);
+  // Every key has exactly one owner, and ownership only changes for keys in
+  // the departed peer's range.
+  Random rng(1);
+  std::vector<uint64_t> keys(500);
+  for (auto& k : keys) k = rng.NextUint64();
+  std::vector<PeerId> owners_before;
+  for (uint64_t k : keys) owners_before.push_back(ring.OwnerOf(k));
+  JXP_CHECK_OK(ring.Leave(7));
+  size_t changed = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const PeerId now = ring.OwnerOf(keys[i]);
+    if (now != owners_before[i]) {
+      EXPECT_EQ(owners_before[i], 7u) << "non-minimal ownership churn";
+      ++changed;
+    }
+  }
+  // Only ~1/50th of keys should move.
+  EXPECT_LT(changed, 40u);
+}
+
+TEST(ChordTest, LookupFindsTrueOwner) {
+  ChordRing ring = MakeRing(64);
+  Random rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    const uint64_t key = rng.NextUint64();
+    const PeerId start = static_cast<PeerId>(rng.NextBounded(64));
+    const ChordRing::LookupResult r = ring.Lookup(key, start);
+    EXPECT_EQ(r.owner, ring.OwnerOf(key));
+  }
+}
+
+TEST(ChordTest, LookupIsLogarithmic) {
+  ChordRing ring = MakeRing(256);
+  Random rng(3);
+  double total_hops = 0;
+  const int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t key = rng.NextUint64();
+    const PeerId start = static_cast<PeerId>(rng.NextBounded(256));
+    total_hops += static_cast<double>(ring.Lookup(key, start).hops);
+  }
+  const double mean_hops = total_hops / kTrials;
+  // Chord's expectation is ~0.5 log2 n = 4; allow generous slack but far
+  // below the linear-walk cost of 128.
+  EXPECT_LT(mean_hops, 12.0);
+  EXPECT_GT(mean_hops, 1.0);
+}
+
+TEST(ChordTest, LookupSurvivesStaleFingers) {
+  // Join 64 peers, stabilize, then churn 32 more in and 16 out WITHOUT
+  // re-stabilizing: lookups must still find the true owner via successor
+  // fallback.
+  ChordRing ring = MakeRing(64);
+  for (PeerId p = 64; p < 96; ++p) JXP_CHECK_OK(ring.Join(p));
+  for (PeerId p = 0; p < 16; ++p) JXP_CHECK_OK(ring.Leave(p));
+  Random rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t key = rng.NextUint64();
+    const PeerId start = static_cast<PeerId>(16 + rng.NextBounded(80));
+    const ChordRing::LookupResult r = ring.Lookup(key, start);
+    EXPECT_EQ(r.owner, ring.OwnerOf(key));
+  }
+}
+
+TEST(ChordTest, SinglePeerOwnsEverything) {
+  ChordRing ring = MakeRing(1);
+  EXPECT_EQ(ring.OwnerOf(0), 0u);
+  EXPECT_EQ(ring.OwnerOf(~uint64_t{0}), 0u);
+  const auto r = ring.Lookup(12345, 0);
+  EXPECT_EQ(r.owner, 0u);
+  EXPECT_EQ(r.hops, 0u);
+}
+
+TEST(ChordTest, LoadIsBalanced) {
+  ChordRing ring = MakeRing(32);
+  Random rng(5);
+  std::vector<size_t> load(32, 0);
+  for (int i = 0; i < 20000; ++i) load[ring.OwnerOf(rng.NextUint64())]++;
+  // With random hashing the max/mean load ratio stays moderate (O(log n)
+  // imbalance is expected for plain consistent hashing).
+  size_t max_load = 0;
+  for (size_t l : load) max_load = std::max(max_load, l);
+  EXPECT_LT(static_cast<double>(max_load), 20000.0 / 32 * 8);
+}
+
+}  // namespace
+}  // namespace p2p
+}  // namespace jxp

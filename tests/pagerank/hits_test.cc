@@ -1,0 +1,69 @@
+#include "pagerank/hits.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+
+namespace jxp {
+namespace pagerank {
+namespace {
+
+TEST(HitsTest, StarGraphSeparatesHubsAndAuthorities) {
+  // Pages 1..9 all point at page 0: page 0 is the authority, 1..9 are hubs.
+  graph::GraphBuilder builder(10);
+  for (graph::PageId u = 1; u < 10; ++u) builder.AddEdge(u, 0);
+  const graph::Graph g = builder.Build();
+  const HitsResult result = ComputeHits(g, HitsOptions());
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.authority[0], 1.0, 1e-9);
+  for (graph::PageId u = 1; u < 10; ++u) {
+    EXPECT_NEAR(result.authority[u], 0.0, 1e-9);
+    EXPECT_NEAR(result.hub[u], 1.0 / 9, 1e-9);
+  }
+  EXPECT_NEAR(result.hub[0], 0.0, 1e-9);
+}
+
+TEST(HitsTest, ScoresAreDistributions) {
+  Random rng(7);
+  const graph::Graph g = graph::BarabasiAlbert(300, 3, rng);
+  const HitsResult result = ComputeHits(g, HitsOptions());
+  double authority_sum = 0;
+  double hub_sum = 0;
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    EXPECT_GE(result.authority[i], 0.0);
+    EXPECT_GE(result.hub[i], 0.0);
+    authority_sum += result.authority[i];
+    hub_sum += result.hub[i];
+  }
+  EXPECT_NEAR(authority_sum, 1.0, 1e-9);
+  EXPECT_NEAR(hub_sum, 1.0, 1e-9);
+}
+
+TEST(HitsTest, BipartiteCore) {
+  // Hubs {0,1} both point to authorities {2,3,4}; symmetric weights.
+  graph::GraphBuilder builder(5);
+  for (graph::PageId h = 0; h < 2; ++h) {
+    for (graph::PageId a = 2; a < 5; ++a) builder.AddEdge(h, a);
+  }
+  const graph::Graph g = builder.Build();
+  const HitsResult result = ComputeHits(g, HitsOptions());
+  EXPECT_NEAR(result.hub[0], 0.5, 1e-9);
+  EXPECT_NEAR(result.hub[1], 0.5, 1e-9);
+  for (graph::PageId a = 2; a < 5; ++a) EXPECT_NEAR(result.authority[a], 1.0 / 3, 1e-9);
+}
+
+TEST(HitsTest, IterationCapRespected) {
+  Random rng(8);
+  const graph::Graph g = graph::BarabasiAlbert(100, 2, rng);
+  HitsOptions options;
+  options.max_iterations = 2;
+  options.tolerance = 0;
+  const HitsResult result = ComputeHits(g, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 2);
+}
+
+}  // namespace
+}  // namespace pagerank
+}  // namespace jxp

@@ -1,0 +1,90 @@
+#include "pagerank/opic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "pagerank/pagerank.h"
+
+namespace jxp {
+namespace pagerank {
+namespace {
+
+TEST(OpicTest, GreedyConvergesToPageRank) {
+  Random rng(1);
+  const graph::Graph g = graph::BarabasiAlbert(150, 3, rng);
+  PageRankOptions pr_options;
+  pr_options.tolerance = 1e-13;
+  const PageRankResult truth = ComputePageRank(g, pr_options);
+
+  OpicOptions options;
+  options.num_visits = 400000;
+  options.policy = OpicOptions::Policy::kGreedy;
+  Random opic_rng(2);
+  const OpicResult opic = ComputeOpic(g, options, opic_rng);
+  ASSERT_EQ(opic.importance.size(), g.NumNodes());
+  double worst = 0;
+  for (size_t p = 0; p < g.NumNodes(); ++p) {
+    worst = std::max(worst, std::abs(opic.importance[p] - truth.scores[p]) /
+                                std::max(truth.scores[p], 1e-6));
+  }
+  EXPECT_LT(worst, 0.05) << "relative error too large";
+}
+
+TEST(OpicTest, RandomPolicyAlsoConverges) {
+  Random rng(3);
+  const graph::Graph g = graph::BarabasiAlbert(80, 3, rng);
+  PageRankOptions pr_options;
+  pr_options.tolerance = 1e-13;
+  const PageRankResult truth = ComputePageRank(g, pr_options);
+
+  OpicOptions options;
+  options.num_visits = 600000;
+  options.policy = OpicOptions::Policy::kRandom;
+  Random opic_rng(4);
+  const OpicResult opic = ComputeOpic(g, options, opic_rng);
+  double total_error = 0;
+  for (size_t p = 0; p < g.NumNodes(); ++p) {
+    total_error += std::abs(opic.importance[p] - truth.scores[p]);
+  }
+  EXPECT_LT(total_error, 0.08);
+}
+
+TEST(OpicTest, HandlesDanglingPages) {
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  // Page 3 dangling.
+  const graph::Graph g = builder.Build();
+  PageRankOptions pr_options;
+  pr_options.tolerance = 1e-13;
+  const PageRankResult truth = ComputePageRank(g, pr_options);
+
+  OpicOptions options;
+  options.num_visits = 300000;
+  Random rng(5);
+  const OpicResult opic = ComputeOpic(g, options, rng);
+  for (size_t p = 0; p < 4; ++p) {
+    EXPECT_NEAR(opic.importance[p], truth.scores[p], 0.01) << "page " << p;
+  }
+}
+
+TEST(OpicTest, ImportanceIsDistribution) {
+  Random rng(6);
+  const graph::Graph g = graph::BarabasiAlbert(60, 2, rng);
+  OpicOptions options;
+  options.num_visits = 10000;
+  const OpicResult opic = ComputeOpic(g, options, rng);
+  double sum = 0;
+  for (double v : opic.importance) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pagerank
+}  // namespace jxp

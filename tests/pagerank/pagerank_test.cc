@@ -1,0 +1,118 @@
+#include "pagerank/pagerank.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "markov/dense_solver.h"
+
+namespace jxp {
+namespace pagerank {
+namespace {
+
+TEST(PageRankTest, UniformOnSymmetricCycle) {
+  // A directed cycle is perfectly symmetric: all scores equal 1/n.
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 0);
+  const graph::Graph g = builder.Build();
+  PageRankOptions options;
+  options.tolerance = 1e-14;
+  const PageRankResult result = ComputePageRank(g, options);
+  ASSERT_TRUE(result.converged);
+  for (double s : result.scores) EXPECT_NEAR(s, 0.25, 1e-12);
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  Random rng(1);
+  const graph::Graph g = graph::BarabasiAlbert(300, 3, rng);
+  const PageRankResult result = ComputePageRank(g, PageRankOptions());
+  ASSERT_TRUE(result.converged);
+  double sum = 0;
+  for (double s : result.scores) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, AuthorityFlowsToLinkTarget) {
+  // Star: many pages point at page 0.
+  graph::GraphBuilder builder(10);
+  for (graph::PageId u = 1; u < 10; ++u) builder.AddEdge(u, 0);
+  builder.AddEdge(0, 1);
+  const graph::Graph g = builder.Build();
+  const PageRankResult result = ComputePageRank(g, PageRankOptions());
+  for (graph::PageId u = 2; u < 10; ++u) {
+    EXPECT_GT(result.scores[0], result.scores[u]);
+  }
+  // Page 1 receives all of page 0's endorsement: second highest.
+  EXPECT_GT(result.scores[1], result.scores[2]);
+}
+
+TEST(PageRankTest, MatchesDenseSolverWithDanglingConvention) {
+  // Verify the "dangling -> uniform" convention against a dense chain that
+  // materializes it.
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  // Page 3 dangling.
+  const graph::Graph g = builder.Build();
+  const double eps = 0.85;
+  const size_t n = 4;
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, (1 - eps) / n));
+  auto add = [&](size_t u, size_t v, double w) { dense[u][v] += eps * w; };
+  add(0, 1, 1);
+  add(1, 2, 1);
+  add(2, 0, 1);
+  for (size_t v = 0; v < n; ++v) add(3, v, 1.0 / n);
+  const auto exact = markov::ExactStationaryDistribution(dense);
+  ASSERT_TRUE(exact.ok());
+
+  PageRankOptions options;
+  options.tolerance = 1e-14;
+  const PageRankResult result = ComputePageRank(g, options);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.scores[i], exact.value()[i], 1e-10) << "page " << i;
+  }
+}
+
+TEST(PageRankTest, DampingExtremes) {
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(2, 0);
+  const graph::Graph g = builder.Build();
+  // Tiny damping: scores approach uniform.
+  PageRankOptions near_jump;
+  near_jump.damping = 0.01;
+  const PageRankResult result = ComputePageRank(g, near_jump);
+  for (double s : result.scores) EXPECT_NEAR(s, 1.0 / 3, 0.02);
+}
+
+TEST(PageRankTest, IterationCountReported) {
+  Random rng(2);
+  const graph::Graph g = graph::BarabasiAlbert(100, 2, rng);
+  PageRankOptions options;
+  options.max_iterations = 3;
+  options.tolerance = 1e-16;
+  const PageRankResult result = ComputePageRank(g, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 3);
+}
+
+TEST(BuildLinkMatrixTest, RowsAreStochasticOrEmpty) {
+  Random rng(3);
+  const graph::Graph g = graph::BarabasiAlbert(50, 2, rng);
+  const markov::SparseMatrix m = BuildLinkMatrix(g);
+  for (uint32_t i = 0; i < m.NumStates(); ++i) {
+    const double sum = m.RowSum(i);
+    EXPECT_TRUE(std::abs(sum - 1.0) < 1e-12 || sum == 0.0) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pagerank
+}  // namespace jxp

@@ -1,0 +1,140 @@
+#include "search/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "pagerank/pagerank.h"
+
+namespace jxp {
+namespace search {
+namespace {
+
+graph::CategorizedGraph SmallCollection() {
+  Random rng(11);
+  graph::WebGraphParams params;
+  params.num_nodes = 600;
+  params.num_categories = 3;
+  params.mean_out_degree = 5;
+  return GenerateWebGraph(params, rng);
+}
+
+CorpusOptions SmallCorpusOptions() {
+  CorpusOptions options;
+  options.vocabulary_size = 4000;
+  options.category_vocab_size = 500;
+  return options;
+}
+
+TEST(CorpusTest, OneDocumentPerPage) {
+  const auto collection = SmallCollection();
+  const Corpus corpus = Corpus::Generate(collection, SmallCorpusOptions(), 1);
+  EXPECT_EQ(corpus.NumDocuments(), 600u);
+  for (graph::PageId p = 0; p < 600; p += 97) {
+    const Document& doc = corpus.DocumentFor(p);
+    EXPECT_EQ(doc.page, p);
+    EXPECT_EQ(doc.topic, collection.category[p]);
+    EXPECT_FALSE(doc.terms.empty());
+    uint32_t total = 0;
+    for (const auto& [term, tf] : doc.terms) total += tf;
+    EXPECT_EQ(total, doc.length);
+  }
+}
+
+TEST(CorpusTest, TermsAreSortedUnique) {
+  const auto collection = SmallCollection();
+  const Corpus corpus = Corpus::Generate(collection, SmallCorpusOptions(), 2);
+  const Document& doc = corpus.DocumentFor(0);
+  for (size_t i = 1; i < doc.terms.size(); ++i) {
+    EXPECT_LT(doc.terms[i - 1].first, doc.terms[i].first);
+  }
+}
+
+TEST(CorpusTest, DocumentFrequencyConsistent) {
+  const auto collection = SmallCollection();
+  const Corpus corpus = Corpus::Generate(collection, SmallCorpusOptions(), 3);
+  // Recount df for a handful of terms.
+  for (TermId term : {0u, 100u, 600u, 2000u}) {
+    uint32_t df = 0;
+    for (graph::PageId p = 0; p < 600; ++p) {
+      const Document& doc = corpus.DocumentFor(p);
+      for (const auto& [t, tf] : doc.terms) {
+        if (t == term) {
+          ++df;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(corpus.DocumentFrequency(term), df) << "term " << term;
+  }
+}
+
+TEST(CorpusTest, DocumentsAreTopicAligned) {
+  const auto collection = SmallCollection();
+  CorpusOptions options = SmallCorpusOptions();
+  options.on_topic_probability = 0.6;
+  const Corpus corpus = Corpus::Generate(collection, options, 4);
+  // For each document, most category-slice tokens must come from the own
+  // category's slice.
+  size_t own = 0;
+  size_t other = 0;
+  for (graph::PageId p = 0; p < 600; ++p) {
+    const Document& doc = corpus.DocumentFor(p);
+    const size_t slice = options.category_vocab_size;
+    for (const auto& [term, tf] : doc.terms) {
+      if (term >= 3 * slice) continue;  // Shared vocabulary.
+      if (term / slice == doc.topic) {
+        own += tf;
+      } else {
+        other += tf;
+      }
+    }
+  }
+  EXPECT_EQ(other, 0u);  // Category tokens only ever come from the own slice.
+  EXPECT_GT(own, 0u);
+}
+
+TEST(CorpusTest, QueryTermsComeFromCategorySlice) {
+  const auto collection = SmallCollection();
+  const CorpusOptions options = SmallCorpusOptions();
+  const Corpus corpus = Corpus::Generate(collection, options, 5);
+  Random rng(6);
+  const auto terms = corpus.SampleQueryTerms(1, 3, rng);
+  EXPECT_EQ(terms.size(), 3u);
+  for (TermId t : terms) {
+    EXPECT_GE(t, options.category_vocab_size);
+    EXPECT_LT(t, 2 * options.category_vocab_size);
+  }
+}
+
+TEST(RelevantPagesTest, CoreIsOnTopicAndAuthoritative) {
+  const auto collection = SmallCollection();
+  const pagerank::PageRankResult pr =
+      ComputePageRank(collection.graph, pagerank::PageRankOptions());
+  const auto relevant = RelevantPages(collection, pr.scores, 0, 0.05);
+  EXPECT_FALSE(relevant.empty());
+  for (graph::PageId p : relevant) {
+    EXPECT_EQ(collection.category[p], 0u);  // On-topic (incl. the extension).
+  }
+  // The single most authoritative on-topic page is always relevant.
+  graph::PageId best = graph::kInvalidPage;
+  double best_score = -1;
+  for (graph::PageId p = 0; p < collection.graph.NumNodes(); ++p) {
+    if (collection.category[p] == 0 && pr.scores[p] > best_score) {
+      best_score = pr.scores[p];
+      best = p;
+    }
+  }
+  EXPECT_TRUE(relevant.count(best));
+}
+
+TEST(RelevantPagesTest, LargerFractionMeansMoreRelevant) {
+  const auto collection = SmallCollection();
+  const pagerank::PageRankResult pr =
+      ComputePageRank(collection.graph, pagerank::PageRankOptions());
+  const auto small = RelevantPages(collection, pr.scores, 1, 0.02);
+  const auto large = RelevantPages(collection, pr.scores, 1, 0.2);
+  EXPECT_GT(large.size(), small.size());
+}
+
+}  // namespace
+}  // namespace search
+}  // namespace jxp

@@ -1,0 +1,107 @@
+#include "search/directory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "pagerank/pagerank.h"
+#include "search/engine.h"
+
+namespace jxp {
+namespace search {
+namespace {
+
+TEST(DhtDirectoryTest, PublishAndLookup) {
+  p2p::ChordRing ring;
+  for (p2p::PeerId p = 0; p < 8; ++p) JXP_CHECK_OK(ring.Join(p));
+  ring.Stabilize();
+  DhtDirectory directory(&ring);
+
+  directory.Publish(42, {.peer = 1, .document_frequency = 10, .jxp_mass = 0.5});
+  directory.Publish(42, {.peer = 3, .document_frequency = 4, .jxp_mass = 0.1});
+  directory.Publish(7, {.peer = 2, .document_frequency = 1, .jxp_mass = 0.01});
+
+  const auto& posts = directory.Lookup(42, 0);
+  ASSERT_EQ(posts.size(), 2u);
+  EXPECT_EQ(directory.Lookup(7, 5).size(), 1u);
+  EXPECT_TRUE(directory.Lookup(999, 5).empty());
+  EXPECT_EQ(directory.NumTerms(), 2u);
+}
+
+TEST(DhtDirectoryTest, RepublishReplacesPost) {
+  p2p::ChordRing ring;
+  for (p2p::PeerId p = 0; p < 4; ++p) JXP_CHECK_OK(ring.Join(p));
+  DhtDirectory directory(&ring);
+  directory.Publish(5, {.peer = 1, .document_frequency = 2, .jxp_mass = 0.1});
+  directory.Publish(5, {.peer = 1, .document_frequency = 9, .jxp_mass = 0.9});
+  const auto& posts = directory.Lookup(5, 0);
+  ASSERT_EQ(posts.size(), 1u);
+  EXPECT_EQ(posts[0].document_frequency, 9u);
+}
+
+TEST(DhtDirectoryTest, AccountsRoutingCosts) {
+  p2p::ChordRing ring;
+  for (p2p::PeerId p = 0; p < 32; ++p) JXP_CHECK_OK(ring.Join(p));
+  ring.Stabilize();
+  DhtDirectory directory(&ring);
+  for (TermId t = 0; t < 100; ++t) {
+    directory.Publish(t, {.peer = static_cast<p2p::PeerId>(t % 32),
+                          .document_frequency = 1,
+                          .jxp_mass = 0.0});
+  }
+  EXPECT_GT(directory.total_publish_hops(), 0u);
+  EXPECT_GT(directory.total_wire_bytes(), 0.0);
+  const size_t hops_before = directory.total_lookup_hops();
+  directory.Lookup(50, 3);
+  EXPECT_GE(directory.total_lookup_hops(), hops_before);
+}
+
+TEST(DhtDirectoryTest, DirectoryRoutingMatchesOmniscientRouting) {
+  // Build a small engine, publish everything, and verify that DHT-based
+  // routing ranks the same best peer as the omniscient in-process routing.
+  Random rng(9);
+  graph::WebGraphParams params;
+  params.num_nodes = 400;
+  params.num_categories = 4;
+  const graph::CategorizedGraph collection = GenerateWebGraph(params, rng);
+  CorpusOptions corpus_options;
+  corpus_options.vocabulary_size = 3000;
+  corpus_options.category_vocab_size = 400;
+  const Corpus corpus = Corpus::Generate(collection, corpus_options, 10);
+
+  MinervaEngine engine(&corpus, SearchOptions());
+  p2p::ChordRing ring;
+  for (p2p::PeerId peer = 0; peer < 4; ++peer) {
+    std::vector<graph::PageId> pages;
+    for (graph::PageId p = 0; p < collection.graph.NumNodes(); ++p) {
+      if (collection.category[p] == peer) pages.push_back(p);
+    }
+    engine.AddPeer(peer, pages);
+    JXP_CHECK_OK(ring.Join(peer));
+  }
+  ring.Stabilize();
+
+  const auto truth = ComputePageRank(collection.graph, pagerank::PageRankOptions());
+  std::unordered_map<graph::PageId, double> jxp_scores;
+  for (graph::PageId p = 0; p < collection.graph.NumNodes(); ++p) {
+    jxp_scores[p] = truth.scores[p];
+  }
+  DhtDirectory directory(&ring);
+  engine.PublishToDirectory(directory, jxp_scores);
+  EXPECT_GT(directory.NumTerms(), 100u);
+
+  Random qrng(11);
+  for (graph::CategoryId category = 0; category < 4; ++category) {
+    const auto query = corpus.SampleQueryTerms(category, 3, qrng);
+    const auto omniscient =
+        engine.RoutePeers(query, jxp_scores, RoutingPolicy::kDocumentFrequency);
+    const auto via_dht = engine.RoutePeersViaDirectory(
+        query, directory, /*asking_peer=*/0, RoutingPolicy::kDocumentFrequency);
+    ASSERT_FALSE(via_dht.empty());
+    EXPECT_EQ(via_dht[0], omniscient[0]) << "category " << category;
+  }
+}
+
+}  // namespace
+}  // namespace search
+}  // namespace jxp

@@ -1,0 +1,118 @@
+// Tests for the MinervaEngine option knobs: routing fan-out, per-peer
+// result caps, and fusion-weight extremes.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "search/engine.h"
+
+namespace jxp {
+namespace search {
+namespace {
+
+struct OptionsFixture {
+  OptionsFixture() {
+    Random rng(61);
+    graph::WebGraphParams params;
+    params.num_nodes = 600;
+    params.num_categories = 3;
+    collection = GenerateWebGraph(params, rng);
+    CorpusOptions corpus_options;
+    corpus_options.vocabulary_size = 3000;
+    corpus_options.category_vocab_size = 400;
+    corpus = Corpus::Generate(collection, corpus_options, 62);
+    for (graph::PageId p = 0; p < collection.graph.NumNodes(); ++p) {
+      jxp_scores[p] = 1.0 / static_cast<double>(collection.graph.NumNodes());
+    }
+  }
+
+  void AddPeers(MinervaEngine& engine, size_t n) const {
+    for (size_t peer = 0; peer < n; ++peer) {
+      std::vector<graph::PageId> pages;
+      for (graph::PageId p = static_cast<graph::PageId>(peer);
+           p < collection.graph.NumNodes(); p += n) {
+        pages.push_back(p);
+      }
+      engine.AddPeer(static_cast<p2p::PeerId>(peer), pages);
+    }
+  }
+
+  std::vector<TermId> Query(uint64_t seed) const {
+    Random rng(seed);
+    return corpus.SampleQueryTerms(1, 3, rng);
+  }
+
+  graph::CategorizedGraph collection;
+  Corpus corpus;
+  std::unordered_map<graph::PageId, double> jxp_scores;
+};
+
+TEST(EngineOptionsTest, WiderFanoutFindsMoreCandidates) {
+  OptionsFixture fx;
+  SearchOptions narrow;
+  narrow.peers_to_route = 1;
+  SearchOptions wide;
+  wide.peers_to_route = 8;
+  MinervaEngine engine_narrow(&fx.corpus, narrow);
+  MinervaEngine engine_wide(&fx.corpus, wide);
+  fx.AddPeers(engine_narrow, 8);
+  fx.AddPeers(engine_wide, 8);
+  const auto query = fx.Query(1);
+  const auto few = engine_narrow.ExecuteQuery(query, fx.jxp_scores,
+                                              RoutingPolicy::kDocumentFrequency);
+  const auto many =
+      engine_wide.ExecuteQuery(query, fx.jxp_scores, RoutingPolicy::kDocumentFrequency);
+  EXPECT_LT(few.size(), many.size());
+}
+
+TEST(EngineOptionsTest, ResultsPerPeerCapsCandidates) {
+  OptionsFixture fx;
+  SearchOptions options;
+  options.peers_to_route = 4;
+  options.results_per_peer = 2;
+  MinervaEngine engine(&fx.corpus, options);
+  fx.AddPeers(engine, 4);
+  const auto results =
+      engine.ExecuteQuery(fx.Query(2), fx.jxp_scores, RoutingPolicy::kDocumentFrequency);
+  // At most peers * results_per_peer merged candidates.
+  EXPECT_LE(results.size(), 8u);
+  EXPECT_FALSE(results.empty());
+}
+
+TEST(EngineOptionsTest, ZeroJxpWeightIsPureTfIdf) {
+  OptionsFixture fx;
+  SearchOptions options;
+  options.jxp_weight = 0.0;
+  MinervaEngine engine(&fx.corpus, options);
+  fx.AddPeers(engine, 4);
+  const auto results =
+      engine.ExecuteQuery(fx.Query(3), fx.jxp_scores, RoutingPolicy::kDocumentFrequency);
+  ASSERT_GT(results.size(), 1u);
+  // Fused order equals tf*idf order.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].tfidf, results[i].tfidf);
+  }
+}
+
+TEST(EngineOptionsTest, FullJxpWeightRanksByAuthority) {
+  OptionsFixture fx;
+  // Give page ids descending authority so the expected order is clear.
+  for (auto& [page, score] : fx.jxp_scores) {
+    score = 1.0 / static_cast<double>(page + 1);
+  }
+  SearchOptions options;
+  options.jxp_weight = 1.0;
+  MinervaEngine engine(&fx.corpus, options);
+  fx.AddPeers(engine, 4);
+  const auto results =
+      engine.ExecuteQuery(fx.Query(4), fx.jxp_scores, RoutingPolicy::kDocumentFrequency);
+  ASSERT_GT(results.size(), 1u);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].page, results[i].page);
+  }
+}
+
+}  // namespace
+}  // namespace search
+}  // namespace jxp

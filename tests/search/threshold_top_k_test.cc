@@ -1,0 +1,137 @@
+#include "search/threshold_top_k.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "search/engine.h"
+
+namespace jxp {
+namespace search {
+namespace {
+
+struct TaFixture {
+  TaFixture() {
+    Random rng(41);
+    graph::WebGraphParams params;
+    params.num_nodes = 1200;
+    params.num_categories = 4;
+    collection = GenerateWebGraph(params, rng);
+    CorpusOptions options;
+    options.vocabulary_size = 4000;
+    options.category_vocab_size = 500;
+    corpus = Corpus::Generate(collection, options, 42);
+    index = std::make_unique<PeerIndex>(0);
+    for (graph::PageId p = 0; p < collection.graph.NumNodes(); ++p) {
+      index->AddDocument(corpus.DocumentFor(p));
+    }
+    engine = std::make_unique<MinervaEngine>(&corpus, SearchOptions());
+  }
+
+  /// Exhaustive reference: scores every document containing a query term.
+  std::vector<std::pair<graph::PageId, double>> BruteForce(
+      std::span<const TermId> query, size_t k) const {
+    std::unordered_map<graph::PageId, double> scores;
+    for (TermId term : query) {
+      if (const std::vector<Posting>* postings = index->PostingsFor(term)) {
+        for (const Posting& posting : *postings) {
+          if (!scores.count(posting.page)) {
+            scores[posting.page] =
+                engine->TfIdfScore(query, corpus.DocumentFor(posting.page));
+          }
+        }
+      }
+    }
+    std::vector<std::pair<graph::PageId, double>> ranked(scores.begin(), scores.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    if (ranked.size() > k) ranked.resize(k);
+    return ranked;
+  }
+
+  graph::CategorizedGraph collection;
+  Corpus corpus;
+  std::unique_ptr<PeerIndex> index;
+  std::unique_ptr<MinervaEngine> engine;
+};
+
+TEST(ThresholdTopKTest, MatchesBruteForce) {
+  TaFixture fx;
+  Random rng(1);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto query = fx.corpus.SampleQueryTerms(trial % 4, 2 + trial % 2, rng);
+    const ThresholdTopKResult ta = ThresholdTopK(*fx.index, fx.corpus, query, 10);
+    const auto reference = fx.BruteForce(query, 10);
+    ASSERT_EQ(ta.results.size(), reference.size()) << "trial " << trial;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      // Scores must match exactly; page ids may differ only under exact
+      // score ties.
+      EXPECT_NEAR(ta.results[i].second, reference[i].second, 1e-12)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST(ThresholdTopKTest, TerminatesEarlyOnSkewedLists) {
+  TaFixture fx;
+  Random rng(2);
+  const auto query = fx.corpus.SampleQueryTerms(1, 3, rng);
+  const ThresholdTopKResult ta = ThresholdTopK(*fx.index, fx.corpus, query, 5);
+  // Count total postings of the query.
+  size_t total_postings = 0;
+  for (TermId term : query) {
+    if (const auto* postings = fx.index->PostingsFor(term)) {
+      total_postings += postings->size();
+    }
+  }
+  ASSERT_GT(total_postings, 50u) << "query too rare for the test to be meaningful";
+  EXPECT_TRUE(ta.early_terminated);
+  EXPECT_LT(ta.sorted_accesses, total_postings);
+}
+
+TEST(ThresholdTopKTest, KLargerThanCandidates) {
+  TaFixture fx;
+  // A rare term: k larger than its posting list.
+  TermId rare = 0;
+  size_t best_df = ~size_t{0};
+  for (TermId t = 0; t < 4000; ++t) {
+    const auto* postings = fx.index->PostingsFor(t);
+    if (postings != nullptr && !postings->empty() && postings->size() < best_df) {
+      best_df = postings->size();
+      rare = t;
+    }
+  }
+  const std::vector<TermId> query = {rare};
+  const ThresholdTopKResult ta = ThresholdTopK(*fx.index, fx.corpus, query, 1000);
+  EXPECT_EQ(ta.results.size(), best_df);
+  EXPECT_FALSE(ta.early_terminated);
+}
+
+TEST(ThresholdTopKTest, EmptyQueryAndUnknownTerms) {
+  TaFixture fx;
+  const std::vector<TermId> empty;
+  EXPECT_TRUE(ThresholdTopK(*fx.index, fx.corpus, empty, 5).results.empty());
+  const std::vector<TermId> unknown = {static_cast<TermId>(3999)};
+  const auto result = ThresholdTopK(*fx.index, fx.corpus, unknown, 5);
+  EXPECT_EQ(result.results.size(),
+            fx.index->PostingsFor(3999) == nullptr
+                ? 0u
+                : std::min<size_t>(5, fx.index->PostingsFor(3999)->size()));
+}
+
+TEST(ThresholdTopKTest, ResultsAreSortedDescending) {
+  TaFixture fx;
+  Random rng(3);
+  const auto query = fx.corpus.SampleQueryTerms(0, 3, rng);
+  const ThresholdTopKResult ta = ThresholdTopK(*fx.index, fx.corpus, query, 20);
+  for (size_t i = 1; i < ta.results.size(); ++i) {
+    EXPECT_GE(ta.results[i - 1].second, ta.results[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace search
+}  // namespace jxp

@@ -1,0 +1,61 @@
+#include "synopses/hash_sketch.h"
+
+#include <gtest/gtest.h>
+
+namespace jxp {
+namespace synopses {
+namespace {
+
+TEST(HashSketchTest, EmptyEstimatesNearZero) {
+  HashSketch sketch(64);
+  EXPECT_NEAR(sketch.EstimateCardinality(), 0, 1.0);
+}
+
+TEST(HashSketchTest, EstimatesWithinExpectedError) {
+  HashSketch sketch(128);
+  for (uint64_t k = 0; k < 5000; ++k) sketch.Add(k);
+  // PCSA standard error ~ 0.78/sqrt(m) ≈ 7%; allow 3 sigma.
+  EXPECT_NEAR(sketch.EstimateCardinality(), 5000, 5000 * 0.21);
+}
+
+TEST(HashSketchTest, DuplicatesDoNotInflate) {
+  HashSketch once(64);
+  HashSketch tenTimes(64);
+  for (uint64_t k = 0; k < 1000; ++k) once.Add(k);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t k = 0; k < 1000; ++k) tenTimes.Add(k);
+  }
+  EXPECT_DOUBLE_EQ(once.EstimateCardinality(), tenTimes.EstimateCardinality());
+}
+
+TEST(HashSketchTest, UnionIsLossless) {
+  HashSketch a(64);
+  HashSketch b(64);
+  HashSketch direct(64);
+  for (uint64_t k = 0; k < 800; ++k) {
+    (k % 2 ? a : b).Add(k);
+    direct.Add(k);
+  }
+  a.UnionWith(b);
+  EXPECT_DOUBLE_EQ(a.EstimateCardinality(), direct.EstimateCardinality());
+}
+
+TEST(HashSketchTest, OverlapEstimate) {
+  HashSketch a(256);
+  HashSketch b(256);
+  for (uint64_t k = 0; k < 3000; ++k) a.Add(k);
+  for (uint64_t k = 1500; k < 4500; ++k) b.Add(k);
+  EXPECT_NEAR(EstimateOverlap(a, b), 1500, 900);
+  const double containment = EstimateContainment(a, b);
+  EXPECT_GT(containment, 0.2);
+  EXPECT_LT(containment, 0.8);
+}
+
+TEST(HashSketchTest, WireSize) {
+  HashSketch sketch(64);
+  EXPECT_EQ(sketch.SizeBytes(), 64u * 8);
+}
+
+}  // namespace
+}  // namespace synopses
+}  // namespace jxp
