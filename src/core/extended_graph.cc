@@ -1,90 +1,137 @@
 #include "core/extended_graph.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace jxp {
 namespace core {
 
-ExtendedGraphSystem BuildExtendedSystem(const graph::Subgraph& fragment,
-                                        const WorldNode& world, double world_score,
-                                        size_t global_size,
-                                        WorldLinkWeighting weighting) {
+void ExtendedSystemCache::RebuildLocalRows(const graph::Subgraph& fragment) {
   const size_t n = fragment.NumLocalPages();
   const size_t num_states = n + 1;
   const uint32_t world_state = static_cast<uint32_t>(n);
-  JXP_CHECK_GE(global_size, n) << "global size estimate below local page count";
-  JXP_CHECK_GT(world_score, 0.0);
-
-  ExtendedGraphSystem system;
   markov::SparseMatrixBuilder builder(num_states);
 
-  // Local rows (Eqs. 6-7).
+  // Local rows (Eqs. 6-7). The world row (state n) stays empty here; every
+  // Prepare/Rescale splices it in via ReplaceLastRow.
   for (graph::Subgraph::LocalIndex i = 0; i < n; ++i) {
     const size_t degree = fragment.GlobalOutDegree(i);
     if (degree == 0) continue;  // Dangling: handled by the dangling vector.
+    const auto locals = fragment.LocalOutNeighbors(i);
+    const size_t external = fragment.NumExternalSuccessors(i);
+    builder.ReserveRow(i, locals.size() + (external > 0 ? 1 : 0));
     const double w = 1.0 / static_cast<double>(degree);
-    for (graph::Subgraph::LocalIndex j : fragment.LocalOutNeighbors(i)) {
+    for (graph::Subgraph::LocalIndex j : locals) {
       builder.Add(i, j, w);
     }
-    const size_t external = fragment.NumExternalSuccessors(i);
     if (external > 0) {
       builder.Add(i, world_state, w * static_cast<double>(external));
     }
   }
+  system_.matrix = builder.Build();
+  num_local_ = n;
+  local_rows_valid_ = true;
+}
 
-  // World row (Eqs. 8-9). Weight per target: (1/out(r)) * alpha(r)/alpha_w.
+void ExtendedSystemCache::RebuildWorldRow(double denominator) {
+  JXP_CHECK_GT(denominator, 0.0);
+  const uint32_t world_state = static_cast<uint32_t>(num_local_);
+
+  // World row (Eqs. 8-9), regenerated from the raw terms with the exact
+  // arithmetic of a from-scratch build: weight per target
+  // (1/out(r)) * (alpha(r)/alpha_w), generation-order mass accumulation,
+  // clamp-scaling applied per entry before the sort/merge.
+  world_row_.clear();
   double world_out_mass = 0;
-  std::vector<std::pair<uint32_t, double>> world_entries;
-  // Under uniform weighting every known external page is assumed to carry
-  // an equal slice of the world mass.
-  const double uniform_share =
-      world.NumEntries() > 0 ? 1.0 / static_cast<double>(world.NumEntries()) : 0.0;
-  for (const auto& [page, info] : world.entries()) {
-    const double assumed_score = weighting == WorldLinkWeighting::kScoreProportional
-                                     ? info.score
-                                     : world_score * uniform_share;
-    const double per_target =
-        (1.0 / static_cast<double>(info.out_degree)) * (assumed_score / world_score);
-    for (graph::PageId target : info.targets) {
-      const graph::Subgraph::LocalIndex t = fragment.LocalIndexOf(target);
-      if (t == graph::Subgraph::kNotLocal) continue;  // Target projected away.
-      world_entries.emplace_back(t, per_target);
-      world_out_mass += per_target;
-    }
+  for (const WorldTerm& term : terms_) {
+    const double assumed_score = weighting_ == WorldLinkWeighting::kScoreProportional
+                                     ? term.score
+                                     : denominator * uniform_share_;
+    const double per_target = term.inv_out * (assumed_score / denominator);
+    world_row_.push_back({term.target, per_target});
+    world_out_mass += per_target;
   }
   // Known external dangling pages link (by the uniform-redistribution
   // convention) to every page, so their aggregated score mass flows 1/N to
   // each local page.
-  const double dangling_mass = world.TotalDanglingScore();
-  if (dangling_mass > 0 && n > 0) {
+  if (dangling_mass_ > 0 && num_local_ > 0) {
     const double per_page =
-        (dangling_mass / world_score) / static_cast<double>(global_size);
-    for (uint32_t i = 0; i < n; ++i) world_entries.emplace_back(i, per_page);
-    world_out_mass += per_page * static_cast<double>(n);
+        (dangling_mass_ / denominator) / static_cast<double>(global_size_);
+    for (uint32_t i = 0; i < num_local_; ++i) world_row_.push_back({i, per_page});
+    world_out_mass += per_page * static_cast<double>(num_local_);
   }
   // Transiently, the stored external scores can exceed the world score
   // (e.g. right after take-max combining but before the local PR re-run);
   // scale the row back into stochasticity instead of producing a negative
   // self-loop.
   double scale = 1.0;
+  system_.world_row_clamped = false;
   if (world_out_mass > 1.0) {
     scale = 1.0 / world_out_mass;
-    system.world_row_clamped = true;
+    system_.world_row_clamped = true;
   }
-  for (const auto& [t, w] : world_entries) builder.Add(world_state, t, w * scale);
+  for (markov::MatrixEntry& e : world_row_) e.weight = e.weight * scale;
   const double self_loop = 1.0 - std::min(world_out_mass * scale, 1.0);
-  if (self_loop > 0) builder.Add(world_state, world_state, self_loop);
+  if (self_loop > 0) world_row_.push_back({world_state, self_loop});
+  markov::SortAndMergeRow(world_row_);
+  system_.matrix.ReplaceLastRow(world_row_);
+}
 
-  system.matrix = builder.Build();
+const ExtendedGraphSystem& ExtendedSystemCache::Prepare(const graph::Subgraph& fragment,
+                                                        const WorldNode& world,
+                                                        double world_score,
+                                                        size_t global_size,
+                                                        WorldLinkWeighting weighting) {
+  const size_t n = fragment.NumLocalPages();
+  JXP_CHECK_GE(global_size, n) << "global size estimate below local page count";
+  JXP_CHECK_GT(world_score, 0.0);
+
+  if (!local_rows_valid_ || num_local_ != n) RebuildLocalRows(fragment);
+
+  // Snapshot the world node's raw link terms, projected onto the fragment.
+  terms_.clear();
+  uniform_share_ =
+      world.NumEntries() > 0 ? 1.0 / static_cast<double>(world.NumEntries()) : 0.0;
+  for (const auto& [page, info] : world.entries()) {
+    const double inv_out = 1.0 / static_cast<double>(info.out_degree);
+    for (graph::PageId target : info.targets) {
+      const graph::Subgraph::LocalIndex t = fragment.LocalIndexOf(target);
+      if (t == graph::Subgraph::kNotLocal) continue;  // Target projected away.
+      terms_.push_back({t, inv_out, info.score});
+    }
+  }
+  dangling_mass_ = world.TotalDanglingScore();
+  global_size_ = global_size;
+  weighting_ = weighting;
 
   // Teleport / dangling vectors (Eq. 10).
+  const size_t num_states = n + 1;
+  const uint32_t world_state = static_cast<uint32_t>(n);
   const double uniform = 1.0 / static_cast<double>(global_size);
-  system.teleport.assign(num_states, uniform);
-  system.teleport[world_state] =
+  system_.teleport.assign(num_states, uniform);
+  system_.teleport[world_state] =
       static_cast<double>(global_size - n) / static_cast<double>(global_size);
-  if (global_size == n) system.teleport[world_state] = 0.0;
-  system.dangling = system.teleport;
-  return system;
+  if (global_size == n) system_.teleport[world_state] = 0.0;
+  system_.dangling = system_.teleport;
+
+  RebuildWorldRow(world_score);
+  prepared_ = true;
+  return system_;
+}
+
+const ExtendedGraphSystem& ExtendedSystemCache::Rescale(double world_score) {
+  JXP_CHECK(prepared_ && local_rows_valid_) << "Rescale before Prepare";
+  RebuildWorldRow(world_score);
+  return system_;
+}
+
+ExtendedGraphSystem BuildExtendedSystem(const graph::Subgraph& fragment,
+                                        const WorldNode& world, double world_score,
+                                        size_t global_size,
+                                        WorldLinkWeighting weighting) {
+  ExtendedSystemCache cache;
+  cache.Prepare(fragment, world, world_score, global_size, weighting);
+  return std::move(cache).TakeSystem();
 }
 
 }  // namespace core

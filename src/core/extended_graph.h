@@ -41,6 +41,73 @@ struct ExtendedGraphSystem {
   bool world_row_clamped = false;
 };
 
+/// Incremental builder of ExtendedGraphSystem, exploiting that only the
+/// world row depends on the denominator alpha_w and on the (per-meeting)
+/// world-node scores, while the local rows depend on the fragment alone:
+///
+/// - local rows are built once per fragment and reused across meetings;
+///   they are dropped only by InvalidateFragment() (called on
+///   ReplaceFragment, the sole structural fragment change);
+/// - Prepare() snapshots the world node's raw link terms (target, 1/out(r),
+///   alpha(r)) and regenerates the world row for the given denominator —
+///   O(world entries), no local-row rebuild, no builder sort of local rows;
+/// - Rescale() regenerates the world row for a new denominator from the
+///   snapshot — the O(world entries) step JxpPeer's self-consistent
+///   denominator guard loop runs instead of a full BuildExtendedSystem.
+///
+/// The world row is regenerated with arithmetic identical to a fresh
+/// BuildExtendedSystem at the same denominator, so the cached and the
+/// freshly built systems agree bit for bit.
+class ExtendedSystemCache {
+ public:
+  ExtendedSystemCache() = default;
+
+  /// Returns the extended system of `fragment` + `world` at denominator
+  /// `world_score` (see BuildExtendedSystem for the semantics). The
+  /// returned reference stays valid — and is updated in place — across
+  /// subsequent Prepare/Rescale calls. The fragment must be unchanged since
+  /// the previous Prepare unless InvalidateFragment() was called in
+  /// between; the world node may change freely between calls.
+  const ExtendedGraphSystem& Prepare(const graph::Subgraph& fragment,
+                                     const WorldNode& world, double world_score,
+                                     size_t global_size, WorldLinkWeighting weighting);
+
+  /// Regenerates the world row for a new denominator, keeping the local
+  /// rows, the world snapshot, and the teleport/dangling vectors of the
+  /// last Prepare. Only valid after a Prepare.
+  const ExtendedGraphSystem& Rescale(double world_score);
+
+  /// Drops the cached local rows; the next Prepare rebuilds them. Must be
+  /// called whenever the fragment changes structurally (ReplaceFragment).
+  void InvalidateFragment() { local_rows_valid_ = false; }
+
+  /// Moves the built system out (used by the one-shot BuildExtendedSystem).
+  ExtendedGraphSystem TakeSystem() && { return std::move(system_); }
+
+ private:
+  /// One raw world-row term: external page r contributes weight
+  /// (1/out(r)) * alpha(r)/alpha_w to local page `target`.
+  struct WorldTerm {
+    uint32_t target = 0;
+    double inv_out = 0;
+    double score = 0;
+  };
+
+  void RebuildLocalRows(const graph::Subgraph& fragment);
+  void RebuildWorldRow(double denominator);
+
+  bool local_rows_valid_ = false;
+  bool prepared_ = false;
+  size_t num_local_ = 0;
+  size_t global_size_ = 0;
+  WorldLinkWeighting weighting_ = WorldLinkWeighting::kScoreProportional;
+  double uniform_share_ = 0;
+  double dangling_mass_ = 0;
+  std::vector<WorldTerm> terms_;
+  std::vector<markov::MatrixEntry> world_row_;  // Scratch, reused per rebuild.
+  ExtendedGraphSystem system_;
+};
+
 /// Builds the extended transition system of `fragment` + `world`:
 ///
 /// - local page i with global out-degree d: weight 1/d per local successor;
@@ -52,7 +119,9 @@ struct ExtendedGraphSystem {
 /// - teleport/dangling per Eq. 10 with `global_size` = N.
 ///
 /// `world_score` is the peer's current world-node score (alpha_w at meeting
-/// t-1), which weights the world row.
+/// t-1), which weights the world row. One-shot convenience over
+/// ExtendedSystemCache; repeated builds over the same fragment should use
+/// the cache directly.
 ExtendedGraphSystem BuildExtendedSystem(
     const graph::Subgraph& fragment, const WorldNode& world, double world_score,
     size_t global_size,

@@ -312,19 +312,24 @@ void JxpPeer::ProcessFullMerge(const PeerView& partner) {
   pi_options.max_iterations = options_.pr_max_iterations;
   markov::PowerIterationResult result;
   int total_iterations = 0;
-  for (int guard = 0; guard < 64; ++guard) {
-    ExtendedGraphSystem system =
-        BuildExtendedSystem(merged, merged_world, denominator, global_size_,
+  // The merged graph lives only for this meeting, but the guard loop below
+  // still reuses its local rows: only the world row is regenerated per
+  // denominator.
+  ExtendedSystemCache merged_cache;
+  const ExtendedGraphSystem* system =
+      &merged_cache.Prepare(merged, merged_world, denominator, global_size_,
                             options_.uniform_world_links
                                 ? WorldLinkWeighting::kUniform
                                 : WorldLinkWeighting::kScoreProportional);
-    ever_clamped_world_row_ |= system.world_row_clamped;
-    result = StationaryDistribution(system.matrix, system.teleport, system.dangling,
+  for (int guard = 0; guard < 64; ++guard) {
+    ever_clamped_world_row_ |= system->world_row_clamped;
+    result = StationaryDistribution(system->matrix, system->teleport, system->dangling,
                                     init, pi_options);
     total_iterations += result.iterations;
     if (result.distribution[m] <= denominator + 1e-13) break;
     denominator = result.distribution[m];
     init = result.distribution;
+    system = &merged_cache.Rescale(denominator);
   }
   last_pr_iterations_ = total_iterations;
   const double pr_world = result.distribution[m];
@@ -409,20 +414,24 @@ void JxpPeer::RunLocalPageRank() {
 
   markov::PowerIterationResult result;
   int total_iterations = 0;
+  // The cache keeps the local rows across meetings (the world row is
+  // regenerated per pass, its scores change at every meeting) and the guard
+  // loop below only rescales the world row per denominator.
+  const ExtendedGraphSystem* system =
+      &extended_cache_.Prepare(fragment_, world_, denominator, global_size_,
+                               options_.uniform_world_links
+                                   ? WorldLinkWeighting::kUniform
+                                   : WorldLinkWeighting::kScoreProportional);
   for (int guard = 0; guard < 64; ++guard) {
-    ExtendedGraphSystem system =
-        BuildExtendedSystem(fragment_, world_, denominator, global_size_,
-                            options_.uniform_world_links
-                                ? WorldLinkWeighting::kUniform
-                                : WorldLinkWeighting::kScoreProportional);
-    ever_clamped_world_row_ |= system.world_row_clamped;
-    result = StationaryDistribution(system.matrix, system.teleport, system.dangling,
+    ever_clamped_world_row_ |= system->world_row_clamped;
+    result = StationaryDistribution(system->matrix, system->teleport, system->dangling,
                                     init, pi_options);
     total_iterations += result.iterations;
     const double pr_world = result.distribution[n];
     if (pr_world <= denominator + 1e-13) break;
     denominator = pr_world;
     init = result.distribution;  // Warm start for the re-run.
+    system = &extended_cache_.Rescale(denominator);
   }
   last_pr_iterations_ = total_iterations;
 
@@ -466,6 +475,8 @@ void JxpPeer::ReplaceFragment(graph::Subgraph fragment) {
   const std::vector<double> old_scores = std::move(scores_);
   fragment_ = std::move(fragment);
   scores_ = std::move(new_scores);
+  // The cached extended-system local rows describe the old fragment.
+  extended_cache_.InvalidateFragment();
   // Drop world knowledge about pages that became local, and in-links aimed
   // at pages we no longer hold.
   for (graph::Subgraph::LocalIndex i = 0; i < fragment_.NumLocalPages(); ++i) {

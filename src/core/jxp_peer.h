@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/extended_graph.h"
 #include "core/jxp_options.h"
 #include "core/world_node.h"
 #include "graph/subgraph.h"
@@ -197,6 +198,10 @@ class JxpPeer {
   int last_pr_iterations_ = 0;
   bool ever_clamped_world_row_ = false;
   synopses::HashSketch page_sketch_;
+  /// Cached extended-system CSR: the local rows survive across meetings
+  /// (only ReplaceFragment invalidates them) and the denominator guard loop
+  /// of RunLocalPageRank rescales the world row instead of rebuilding.
+  ExtendedSystemCache extended_cache_;
 };
 
 }  // namespace core

@@ -1,5 +1,6 @@
 #include "core/simulation.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace jxp {
@@ -16,6 +17,7 @@ JxpSimulation::JxpSimulation(const graph::Graph& global,
   pr_options.damping = config_.jxp.damping;
   pr_options.tolerance = config_.baseline_tolerance;
   pr_options.max_iterations = config_.baseline_max_iterations;
+  pr_options.num_threads = static_cast<int>(config_.baseline_num_threads);
   pagerank::PageRankResult baseline = ComputePageRank(global, pr_options);
   JXP_CHECK(baseline.converged) << "centralized PageRank did not converge";
   global_scores_ = std::move(baseline.scores);
@@ -62,6 +64,65 @@ void JxpSimulation::RunMeetings(size_t count) {
     network_.RecordMeetingTraffic(selection.partner,
                                   outcome.bytes_sent_partner + extra / 2);
     ++meetings_done_;
+  }
+}
+
+void JxpSimulation::RunMeetingsParallel(size_t count) {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(std::max<size_t>(1, config_.num_threads));
+  }
+  struct PlannedMeeting {
+    p2p::PeerId initiator = p2p::kInvalidPeer;
+    SelectionResult selection;
+  };
+  std::vector<PlannedMeeting> round;
+  std::vector<MeetingOutcome> outcomes;
+  std::vector<char> used;
+  size_t remaining = count;
+  while (remaining > 0) {
+    if (churn_ != nullptr) churn_->Step(network_);
+    JXP_CHECK_GE(network_.NumAlive(), 2u) << "network too small to meet";
+    // Draw a round of pairwise-disjoint meetings: a greedy random matching
+    // over the alive peers. All RNG and selector state is consumed here, on
+    // the simulation thread, so the schedule is a pure function of the seed
+    // — independent, in particular, of the thread count.
+    round.clear();
+    used.assign(network_.NumPeers(), 0);
+    std::vector<p2p::PeerId> order = network_.AlivePeers();
+    rng_.Shuffle(order);
+    const size_t max_pairs = std::min(remaining, order.size() / 2);
+    for (const p2p::PeerId initiator : order) {
+      if (round.size() >= max_pairs) break;
+      if (used[initiator]) continue;
+      const SelectionResult selection =
+          selector_->SelectPartner(initiator, network_, rng_);
+      JXP_CHECK(selection.partner != initiator && network_.IsAlive(selection.partner));
+      if (used[selection.partner]) continue;  // Greedy matching: drop the pick.
+      used[initiator] = used[selection.partner] = 1;
+      round.push_back({initiator, selection});
+    }
+    JXP_CHECK(!round.empty());
+    // Disjoint pairs share no mutable peer state, so one round's meetings
+    // run concurrently without locks.
+    outcomes.assign(round.size(), MeetingOutcome{});
+    pool_->ParallelFor(0, round.size(), 1, [&](size_t i) {
+      outcomes[i] =
+          JxpPeer::Meet(peers_[round[i].initiator], peers_[round[i].selection.partner]);
+    });
+    // Selector bookkeeping and traffic accounting mutate shared state; they
+    // run sequentially, in round order.
+    for (size_t i = 0; i < round.size(); ++i) {
+      const double extra =
+          selector_->AfterMeeting(round[i].initiator, round[i].selection.partner,
+                                  network_) +
+          round[i].selection.synopsis_bytes;
+      network_.RecordMeetingTraffic(round[i].initiator,
+                                    outcomes[i].bytes_sent_initiator + extra / 2);
+      network_.RecordMeetingTraffic(round[i].selection.partner,
+                                    outcomes[i].bytes_sent_partner + extra / 2);
+      ++meetings_done_;
+    }
+    remaining -= round.size();
   }
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/evaluation.h"
 #include "core/jxp_options.h"
 #include "core/jxp_peer.h"
@@ -47,6 +48,16 @@ struct SimulationConfig {
   /// `num_attackers` peers run `attack`; all peers apply jxp.defense.
   size_t num_attackers = 0;
   AttackOptions attack;
+  /// Worker threads for RunMeetingsParallel's meeting rounds. Results are
+  /// deterministic in `seed` at every thread count (see DESIGN.md,
+  /// "Concurrency model").
+  size_t num_threads = 1;
+  /// Worker threads of the centralized-baseline power iteration run at
+  /// construction (it dominates construction on large graphs). Kept
+  /// separate from num_threads because the parallel pull kernel is
+  /// bit-reproducible across thread counts > 1 but not bit-identical with
+  /// the sequential kernel.
+  size_t baseline_num_threads = 1;
 };
 
 /// A complete JXP network simulation: the global graph, one JxpPeer per
@@ -61,6 +72,17 @@ class JxpSimulation {
 
   /// Executes `count` meetings (each meeting updates both participants).
   void RunMeetings(size_t count);
+
+  /// Executes `count` meetings in rounds of pairwise-disjoint peer pairs (a
+  /// greedy random matching drawn from the configured selector), running
+  /// each round's meetings concurrently on config.num_threads workers.
+  /// Disjointness means no two concurrent meetings share peer state, so no
+  /// locks are needed, and the whole run — schedule, scores, traffic — is a
+  /// pure function of the seed, bit-identical at every thread count. The
+  /// meeting *schedule* differs from RunMeetings (rounds cannot revisit a
+  /// peer; churn steps once per round), but both schedules are fair and
+  /// converge per Theorem 5.4.
+  void RunMeetingsParallel(size_t count);
 
   /// Compares the current network-wide JXP snapshot against centralized PR.
   AccuracyPoint Evaluate() const;
@@ -101,6 +123,7 @@ class JxpSimulation {
   std::vector<JxpPeer> peers_;
   std::unique_ptr<PeerSelector> selector_;
   std::unique_ptr<p2p::ChurnModel> churn_;
+  std::unique_ptr<ThreadPool> pool_;  // Lazily created by RunMeetingsParallel.
   std::vector<double> global_scores_;
   std::vector<metrics::ScoredItem> global_top_k_;
   size_t meetings_done_ = 0;

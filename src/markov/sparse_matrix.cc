@@ -1,9 +1,24 @@
 #include "markov/sparse_matrix.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace jxp {
 namespace markov {
+
+void SortAndMergeRow(std::vector<MatrixEntry>& row) {
+  std::sort(row.begin(), row.end(),
+            [](const MatrixEntry& a, const MatrixEntry& b) { return a.column < b.column; });
+  size_t w = 0;
+  for (size_t r = 0; r < row.size(); ++r) {
+    if (w > 0 && row[w - 1].column == row[r].column) {
+      row[w - 1].weight += row[r].weight;
+    } else {
+      row[w++] = row[r];
+    }
+  }
+  row.resize(w);
+}
 
 void SparseMatrix::LeftMultiply(std::span<const double> x, std::span<double> y) const {
   JXP_CHECK_EQ(x.size(), NumStates());
@@ -13,6 +28,53 @@ void SparseMatrix::LeftMultiply(std::span<const double> x, std::span<double> y) 
     const double xi = x[i];
     if (xi == 0) continue;
     for (const MatrixEntry& e : Row(i)) y[e.column] += xi * e.weight;
+  }
+}
+
+void SparseMatrix::ReplaceLastRow(std::span<const MatrixEntry> entries) {
+  JXP_CHECK_GT(NumStates(), 0u);
+  const size_t last = NumStates() - 1;
+  entries_.resize(row_offsets_[last]);
+  entries_.insert(entries_.end(), entries.begin(), entries.end());
+  row_offsets_[last + 1] = entries_.size();
+  double sum = 0;
+  for (const MatrixEntry& e : entries) {
+    JXP_CHECK_LT(e.column, NumStates());
+    JXP_CHECK_GE(e.weight, 0.0);
+    sum += e.weight;
+  }
+  JXP_CHECK_LE(sum, 1.0 + 1e-9) << "replacement last row is super-stochastic";
+  row_sums_[last] = sum;
+}
+
+TransposedMatrix::TransposedMatrix(const SparseMatrix& m) {
+  const size_t n = m.NumStates();
+  col_offsets_.assign(n + 1, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const MatrixEntry& e : m.Row(i)) ++col_offsets_[e.column + 1];
+  }
+  for (size_t c = 0; c < n; ++c) col_offsets_[c + 1] += col_offsets_[c];
+  entries_.resize(m.NumEntries());
+  std::vector<uint64_t> cursor(col_offsets_.begin(), col_offsets_.end() - 1);
+  // Row-ascending fill keeps each column's in-entries sorted by source row.
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const MatrixEntry& e : m.Row(i)) {
+      entries_[cursor[e.column]++] = {i, e.weight};
+    }
+  }
+}
+
+void TransposedMatrix::PullMultiply(std::span<const double> x, std::span<double> y,
+                                    size_t begin_col, size_t end_col) const {
+  JXP_CHECK_EQ(x.size(), NumStates());
+  JXP_CHECK_EQ(y.size(), NumStates());
+  JXP_CHECK_LE(end_col, NumStates());
+  for (size_t j = begin_col; j < end_col; ++j) {
+    double sum = 0;
+    const MatrixEntry* e = entries_.data() + col_offsets_[j];
+    const MatrixEntry* stop = entries_.data() + col_offsets_[j + 1];
+    for (; e != stop; ++e) sum += x[e->column] * e->weight;
+    y[j] = sum;
   }
 }
 
@@ -29,27 +91,17 @@ SparseMatrix SparseMatrixBuilder::Build() {
   m.row_sums_.assign(num_states_, 0.0);
   size_t total = 0;
   for (auto& row : rows_) {
-    // Merge duplicate columns.
-    std::sort(row.begin(), row.end(),
-              [](const MatrixEntry& a, const MatrixEntry& b) { return a.column < b.column; });
-    size_t w = 0;
-    for (size_t r = 0; r < row.size(); ++r) {
-      if (w > 0 && row[w - 1].column == row[r].column) {
-        row[w - 1].weight += row[r].weight;
-      } else {
-        row[w++] = row[r];
-      }
-    }
-    row.resize(w);
-    total += w;
+    SortAndMergeRow(row);
+    total += row.size();
   }
   m.entries_.reserve(total);
   for (size_t i = 0; i < num_states_; ++i) {
     double sum = 0;
-    for (const MatrixEntry& e : rows_[i]) {
-      m.entries_.push_back(e);
-      sum += e.weight;
-    }
+    for (const MatrixEntry& e : rows_[i]) sum += e.weight;
+    // Bulk-move the merged row into the flat array (one memcpy-sized insert
+    // instead of per-entry push_back) and release its storage right away.
+    m.entries_.insert(m.entries_.end(), rows_[i].begin(), rows_[i].end());
+    std::vector<MatrixEntry>().swap(rows_[i]);
     JXP_CHECK_LE(sum, 1.0 + 1e-9) << "row " << i << " is super-stochastic";
     m.row_sums_[i] = sum;
     m.row_offsets_[i + 1] = m.entries_.size();

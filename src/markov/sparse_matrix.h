@@ -16,6 +16,11 @@ struct MatrixEntry {
   double weight = 0;
 };
 
+/// Sorts `row` by column and merges duplicate columns by adding their
+/// weights (left to right in sorted order). Shared by SparseMatrixBuilder
+/// and core::ExtendedSystemCache so both produce bit-identical rows.
+void SortAndMergeRow(std::vector<MatrixEntry>& row);
+
 /// Square sparse row-major matrix of transition probabilities.
 ///
 /// Rows may be *substochastic* (sum < 1): a row summing to zero models a
@@ -49,6 +54,14 @@ class SparseMatrix {
   /// overwritten.
   void LeftMultiply(std::span<const double> x, std::span<double> y) const;
 
+  /// Replaces the entries of the *last* row in place, leaving every other
+  /// row untouched (the extended-system cache keeps the immutable local
+  /// rows and splices in a fresh world row). Columns must be unique and in
+  /// range; the new row sum must stay stochastic. The row sum is recomputed
+  /// by summing the entries in storage order, matching
+  /// SparseMatrixBuilder::Build.
+  void ReplaceLastRow(std::span<const MatrixEntry> entries);
+
  private:
   friend class SparseMatrixBuilder;
 
@@ -57,12 +70,46 @@ class SparseMatrix {
   std::vector<double> row_sums_;
 };
 
+/// Column-major (in-edge) view of a SparseMatrix for pull-based iteration:
+/// y[j] is produced from j's in-entries only, so concurrent PullMultiply
+/// calls on disjoint column ranges are race-free by construction. Within a
+/// column the source rows are stored ascending, so the accumulation order —
+/// and hence the floating-point result — is independent of how the columns
+/// are partitioned across threads.
+class TransposedMatrix {
+ public:
+  /// Builds the transposed view in O(entries). The source matrix is copied
+  /// into column-major storage; it need not outlive the view.
+  explicit TransposedMatrix(const SparseMatrix& m);
+
+  /// Number of states (rows == columns).
+  size_t NumStates() const { return col_offsets_.size() - 1; }
+
+  /// Computes y[j] = sum_i x[i] * M(i, j) for j in [begin_col, end_col),
+  /// writing only that range of y.
+  void PullMultiply(std::span<const double> x, std::span<double> y, size_t begin_col,
+                    size_t end_col) const;
+
+ private:
+  std::vector<uint64_t> col_offsets_ = {0};
+  // `column` holds the *source row* of the entry.
+  std::vector<MatrixEntry> entries_;
+};
+
 /// Row-by-row builder for SparseMatrix.
 class SparseMatrixBuilder {
  public:
   /// Creates a builder for an n x n matrix.
   explicit SparseMatrixBuilder(size_t num_states) : num_states_(num_states) {
     rows_.resize(num_states);
+  }
+
+  /// Reserves capacity for `expected` entries in `row` — callers that know
+  /// exact degrees up front (link-matrix and extended-system builds) avoid
+  /// the push_back growth reallocations.
+  void ReserveRow(uint32_t row, size_t expected) {
+    JXP_CHECK_LT(row, num_states_);
+    rows_[row].reserve(expected);
   }
 
   /// Adds `weight` to entry (row, column); accumulates if called twice for

@@ -8,6 +8,7 @@ markov::SparseMatrix BuildLinkMatrix(const graph::Graph& g) {
   for (graph::PageId u = 0; u < g.NumNodes(); ++u) {
     const auto successors = g.OutNeighbors(u);
     if (successors.empty()) continue;
+    builder.ReserveRow(u, successors.size());
     const double w = 1.0 / static_cast<double>(successors.size());
     for (graph::PageId v : successors) builder.Add(u, v, w);
   }
@@ -21,6 +22,7 @@ PageRankResult ComputePageRank(const graph::Graph& g, const PageRankOptions& opt
   pi_options.damping = options.damping;
   pi_options.tolerance = options.tolerance;
   pi_options.max_iterations = options.max_iterations;
+  pi_options.num_threads = options.num_threads;
   markov::PowerIterationResult pi = StationaryDistribution(matrix, pi_options);
   PageRankResult result;
   result.scores = std::move(pi.distribution);

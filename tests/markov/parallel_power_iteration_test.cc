@@ -1,0 +1,158 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "markov/power_iteration.h"
+#include "markov/sparse_matrix.h"
+
+namespace jxp {
+namespace markov {
+namespace {
+
+/// A random substochastic chain large enough to span several parallel
+/// blocks (the pull kernel's grain is 1024 columns): ~6 out-links per
+/// state, every 17th state dangling, row sums in (0, 1].
+SparseMatrix RandomChain(size_t n, uint64_t seed) {
+  Random rng(seed);
+  SparseMatrixBuilder builder(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i % 17 == 0) continue;  // Dangling.
+    const size_t degree = 1 + rng.NextBounded(10);
+    std::vector<double> weights(degree);
+    double total = 0;
+    for (double& w : weights) {
+      w = 0.05 + rng.NextDouble();
+      total += w;
+    }
+    // Every 5th state is substochastic (misses 10% of its mass).
+    const double row_sum = i % 5 == 0 ? 0.9 : 1.0;
+    builder.ReserveRow(i, degree);
+    for (double w : weights) {
+      builder.Add(i, static_cast<uint32_t>(rng.NextBounded(n)), row_sum * w / total);
+    }
+  }
+  return builder.Build();
+}
+
+PowerIterationResult RunIteration(const SparseMatrix& m, int num_threads,
+                                  ThreadPool* pool = nullptr) {
+  PowerIterationOptions options;
+  options.damping = 0.85;
+  options.tolerance = 1e-12;
+  options.max_iterations = 500;
+  options.num_threads = num_threads;
+  options.pool = pool;
+  return StationaryDistribution(m, options);
+}
+
+TEST(ParallelPowerIterationTest, MatchesSequentialWithinTolerance) {
+  const SparseMatrix m = RandomChain(3000, 42);
+  const PowerIterationResult seq = RunIteration(m, 1);
+  const PowerIterationResult par = RunIteration(m, 4);
+  ASSERT_TRUE(seq.converged);
+  ASSERT_TRUE(par.converged);
+  ASSERT_EQ(seq.distribution.size(), par.distribution.size());
+  double l1 = 0;
+  for (size_t i = 0; i < seq.distribution.size(); ++i) {
+    l1 += std::abs(seq.distribution[i] - par.distribution[i]);
+  }
+  // Both kernels converge to the same fixpoint; only summation order
+  // differs, so the gap is on the order of the tolerance.
+  EXPECT_LT(l1, 1e-10);
+}
+
+TEST(ParallelPowerIterationTest, BitIdenticalAcrossThreadCounts) {
+  // The pull kernel's block partition depends only on (n, grain), never on
+  // the thread count, and blockwise partials are combined in block order —
+  // so any two thread counts > 1 give bitwise-identical results.
+  const SparseMatrix m = RandomChain(5000, 7);
+  const PowerIterationResult two = RunIteration(m, 2);
+  const PowerIterationResult three = RunIteration(m, 3);
+  const PowerIterationResult eight = RunIteration(m, 8);
+  ASSERT_TRUE(two.converged);
+  EXPECT_EQ(two.distribution, three.distribution);
+  EXPECT_EQ(two.distribution, eight.distribution);
+  EXPECT_EQ(two.iterations, eight.iterations);
+  EXPECT_EQ(two.residual, eight.residual);
+}
+
+TEST(ParallelPowerIterationTest, ExternalPoolGivesSameResult) {
+  const SparseMatrix m = RandomChain(3000, 99);
+  ThreadPool pool(4);
+  const PowerIterationResult owned = RunIteration(m, 4);
+  const PowerIterationResult external = RunIteration(m, 4, &pool);
+  EXPECT_EQ(owned.distribution, external.distribution);
+  EXPECT_EQ(owned.iterations, external.iterations);
+  // The pool stays usable afterwards.
+  const PowerIterationResult again = RunIteration(m, 4, &pool);
+  EXPECT_EQ(owned.distribution, again.distribution);
+}
+
+TEST(ParallelPowerIterationTest, NonUniformTeleportAndDangling) {
+  const size_t n = 2500;
+  const SparseMatrix m = RandomChain(n, 5);
+  std::vector<double> teleport(n), dangling(n);
+  double t_total = 0, d_total = 0;
+  Random rng(11);
+  for (size_t i = 0; i < n; ++i) {
+    teleport[i] = rng.NextDouble();
+    dangling[i] = rng.NextDouble();
+    t_total += teleport[i];
+    d_total += dangling[i];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    teleport[i] /= t_total;
+    dangling[i] /= d_total;
+  }
+  PowerIterationOptions options;
+  options.tolerance = 1e-12;
+  options.num_threads = 1;
+  const auto seq = StationaryDistribution(m, teleport, dangling, {}, options);
+  options.num_threads = 4;
+  const auto par = StationaryDistribution(m, teleport, dangling, {}, options);
+  ASSERT_TRUE(seq.converged);
+  ASSERT_TRUE(par.converged);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(seq.distribution[i], par.distribution[i], 1e-12) << "state " << i;
+  }
+}
+
+TEST(TransposedMatrixTest, PullMultiplyMatchesLeftMultiply) {
+  const size_t n = 800;
+  const SparseMatrix m = RandomChain(n, 3);
+  const TransposedMatrix transposed(m);
+  Random rng(21);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.NextDouble();
+  std::vector<double> push(n, 0.0), pull(n, 0.0);
+  m.LeftMultiply(x, push);
+  transposed.PullMultiply(x, pull, 0, n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(push[i], pull[i], 1e-14) << "column " << i;
+  }
+}
+
+TEST(TransposedMatrixTest, ColumnRangesComposeDeterministically) {
+  // Computing disjoint column ranges separately gives exactly the same
+  // values as one full-range call: per-column accumulation order is fixed
+  // by the transposed layout, independent of the range split.
+  const size_t n = 1000;
+  const SparseMatrix m = RandomChain(n, 13);
+  const TransposedMatrix transposed(m);
+  std::vector<double> x(n);
+  Random rng(4);
+  for (double& v : x) v = rng.NextDouble();
+  std::vector<double> whole(n, 0.0), split(n, 0.0);
+  transposed.PullMultiply(x, whole, 0, n);
+  transposed.PullMultiply(x, split, 0, 337);
+  transposed.PullMultiply(x, split, 337, 700);
+  transposed.PullMultiply(x, split, 700, n);
+  EXPECT_EQ(whole, split);
+}
+
+}  // namespace
+}  // namespace markov
+}  // namespace jxp
