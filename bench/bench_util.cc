@@ -1,11 +1,68 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jxp {
 namespace bench {
+
+namespace {
+
+/// The bench-wide telemetry sink. Leaked deliberately: the atexit metrics
+/// dump below must be able to write after main returns, regardless of
+/// static-destruction order.
+obs::JsonlTraceSink* g_bench_sink = nullptr;
+
+void DumpMetricsAtExit() {
+  if (g_bench_sink == nullptr) return;
+  // One JSON line per metric, through the same sink as the spans so the
+  // whole run lives in one stream.
+  const std::string lines = obs::MetricsRegistry::Global().Snapshot().ToJsonLines();
+  std::string_view rest = lines;
+  while (!rest.empty()) {
+    const size_t nl = rest.find('\n');
+    const std::string_view line = rest.substr(0, nl);
+    if (!line.empty()) g_bench_sink->WriteLine(line);
+    if (nl == std::string_view::npos) break;
+    rest.remove_prefix(nl + 1);
+  }
+  obs::InstallTraceSink(nullptr);
+  g_bench_sink->Flush();
+}
+
+/// Installs the JSON-lines sink at config.metrics_out (if set) and emits a
+/// "bench_start" event identifying the binary and configuration. Called
+/// once, from FromFlags, so every bench binary gets telemetry for free.
+void StartBenchTelemetry(const char* argv0, const BenchConfig& config) {
+  if (config.metrics_out.empty()) return;
+  auto sink = obs::JsonlTraceSink::Open(config.metrics_out);
+  JXP_CHECK(sink != nullptr) << "cannot open --metrics_out path " << config.metrics_out;
+  g_bench_sink = sink.release();
+  obs::InstallTraceSink(g_bench_sink);
+  std::atexit(DumpMetricsAtExit);
+
+  std::string_view bench_name = argv0 == nullptr ? "bench" : argv0;
+  if (const size_t slash = bench_name.rfind('/'); slash != std::string_view::npos) {
+    bench_name.remove_prefix(slash + 1);
+  }
+  obs::EmitEvent("bench_start", [&](obs::JsonWriter& writer) {
+    writer.Field("bench", bench_name)
+        .Field("amazon_scale", config.amazon_scale)
+        .Field("web_scale", config.web_scale)
+        .Field("peers_per_category", config.peers_per_category)
+        .Field("meetings", config.meetings)
+        .Field("eval_every", config.eval_every)
+        .Field("top_k", config.top_k)
+        .Field("seed", config.seed);
+  });
+}
+
+}  // namespace
 
 BenchConfig BenchConfig::FromFlags(int argc, char** argv) {
   Flags flags;
@@ -28,6 +85,9 @@ BenchConfig BenchConfig::FromFlags(int argc, char** argv) {
   config.top_k =
       static_cast<size_t>(flags.GetInt("topk", static_cast<int64_t>(config.top_k)));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int64_t>(config.seed)));
+  config.metrics_out = flags.GetString("metrics_out", config.metrics_out);
+  config.metrics_out = flags.GetString("metrics-out", config.metrics_out);
+  StartBenchTelemetry(argc > 0 ? argv[0] : nullptr, config);
   return config;
 }
 
@@ -81,9 +141,19 @@ void PrintRow(const std::vector<double>& values) {
 
 void RunConvergenceSeries(core::JxpSimulation& sim, const BenchConfig& config,
                           const std::string& label) {
+  const auto emit = [&](size_t meetings, const core::AccuracyPoint& point) {
+    obs::EmitEvent("convergence", [&](obs::JsonWriter& writer) {
+      writer.Field("series", label)
+          .Field("meetings", meetings)
+          .Field("footrule", point.footrule)
+          .Field("linear_error", point.linear_error)
+          .Field("total_traffic_bytes", sim.network().TotalTrafficBytes());
+    });
+  };
   const core::AccuracyPoint start = sim.Evaluate();
   std::printf("%s\t0\t%.6f\t%.8g\n", label.c_str(), start.footrule, start.linear_error);
   std::fflush(stdout);
+  emit(0, start);
   while (sim.meetings_done() < config.meetings) {
     const size_t batch =
         std::min(config.eval_every, config.meetings - sim.meetings_done());
@@ -92,7 +162,22 @@ void RunConvergenceSeries(core::JxpSimulation& sim, const BenchConfig& config,
     std::printf("%s\t%zu\t%.6f\t%.8g\n", label.c_str(), sim.meetings_done(),
                 point.footrule, point.linear_error);
     std::fflush(stdout);
+    emit(sim.meetings_done(), point);
   }
+}
+
+void PrintTrafficSummary(const core::JxpSimulation& sim) {
+  const p2p::PeerTrafficSummary traffic = sim.network().AggregateTraffic();
+  std::printf("# total traffic: %.1f MB over %zu meetings, per meeting mean %.1f KB / "
+              "max %.1f KB\n",
+              traffic.total_bytes / (1024.0 * 1024.0), sim.meetings_done(),
+              traffic.mean_bytes / 1024.0, traffic.max_bytes / 1024.0);
+  obs::EmitEvent("traffic_summary", [&](obs::JsonWriter& writer) {
+    writer.Field("meetings", sim.meetings_done())
+        .Field("total_bytes", traffic.total_bytes)
+        .Field("mean_bytes", traffic.mean_bytes)
+        .Field("max_bytes", traffic.max_bytes);
+  });
 }
 
 }  // namespace bench

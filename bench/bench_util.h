@@ -28,6 +28,10 @@ struct BenchConfig {
   /// Top-k compared (paper: 1000; Figure 9 uses 10000).
   size_t top_k = 1000;
   uint64_t seed = 7;
+  /// Telemetry output: when non-empty, a JSON-lines trace sink is installed
+  /// at this path (spans, events, and — at exit — a metrics snapshot).
+  /// Flag spellings --metrics_out=PATH and --metrics-out=PATH both work.
+  std::string metrics_out;
 
   /// Parses the standard flags; unknown flags abort.
   static BenchConfig FromFlags(int argc, char** argv);
@@ -54,9 +58,14 @@ void PrintRow(const std::vector<double>& values);
 
 /// Runs `sim` for config.meetings meetings, evaluating every
 /// config.eval_every; prints "meetings footrule linear_error" rows with the
-/// given label column.
+/// given label column and emits each point as a "convergence" trace event.
 void RunConvergenceSeries(core::JxpSimulation& sim, const BenchConfig& config,
                           const std::string& label);
+
+/// Prints the network-wide traffic bottom line ("# total traffic: ... MB
+/// over N meetings, mean ... KB / max ... KB per meeting") from
+/// Network::AggregateTraffic, and emits it as a "traffic_summary" event.
+void PrintTrafficSummary(const core::JxpSimulation& sim);
 
 }  // namespace bench
 }  // namespace jxp

@@ -48,9 +48,7 @@ void Run(int argc, char** argv) {
                                : "with_pre_meetings",
                            50);
     // Total traffic, the paper's bandwidth bottom line.
-    std::printf("# total traffic: %.1f MB over %zu meetings\n",
-                sim.network().TotalTrafficBytes() / (1024.0 * 1024.0),
-                sim.meetings_done());
+    PrintTrafficSummary(sim);
   }
 }
 

@@ -50,9 +50,7 @@ void Run(int argc, char** argv) {
                                ? "without_pre_meetings"
                                : "with_pre_meetings",
                            50);
-    std::printf("# total traffic: %.1f MB over %zu meetings\n",
-                sim.network().TotalTrafficBytes() / (1024.0 * 1024.0),
-                sim.meetings_done());
+    PrintTrafficSummary(sim);
   }
 }
 

@@ -8,6 +8,8 @@
 
 #include "bench/bench_util.h"
 #include "common/timer.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
 
 namespace jxp {
 namespace bench {
@@ -40,16 +42,25 @@ void Run(int argc, char** argv) {
       merges += peer.meeting_cpu_millis().size();
     }
     const core::AccuracyPoint accuracy = sim.Evaluate();
-    std::printf(
-        "{\"bench\": \"meeting_throughput\", \"threads\": %zu, "
-        "\"meetings\": %zu, \"wall_seconds\": %.4f, "
-        "\"meetings_per_sec\": %.2f, \"cpu_millis\": %.1f, "
-        "\"merge_cpu_millis_mean\": %.4f, \"footrule\": %.5f}\n",
-        threads, sim.meetings_done(), wall_s,
-        wall_s > 0 ? static_cast<double>(sim.meetings_done()) / wall_s : 0.0, cpu_ms,
-        merges > 0 ? merge_ms_total / static_cast<double>(merges) : 0.0,
-        accuracy.footrule);
+    // One fill, two destinations: the stdout result line and (when a
+    // --metrics_out sink is installed) a "bench_result" trace event.
+    const auto fill = [&](obs::JsonWriter& writer) {
+      writer.Field("bench", "meeting_throughput")
+          .Field("threads", threads)
+          .Field("meetings", sim.meetings_done())
+          .Field("wall_seconds", wall_s)
+          .Field("meetings_per_sec",
+                 wall_s > 0 ? static_cast<double>(sim.meetings_done()) / wall_s : 0.0)
+          .Field("cpu_millis", cpu_ms)
+          .Field("merge_cpu_millis_mean",
+                 merges > 0 ? merge_ms_total / static_cast<double>(merges) : 0.0)
+          .Field("footrule", accuracy.footrule);
+    };
+    obs::JsonWriter line;
+    fill(line);
+    std::printf("%s\n", line.TakeLine().c_str());
     std::fflush(stdout);
+    obs::EmitEvent("bench_result", fill);
   }
 }
 

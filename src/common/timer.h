@@ -52,6 +52,32 @@ class CpuTimer {
   double start_;
 };
 
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID); used by trace
+/// spans, where the process-wide clock would charge one span for work other
+/// threads did concurrently.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(Now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Now(); }
+
+  /// Elapsed CPU time of the calling thread in seconds.
+  double ElapsedSeconds() const { return Now() - start_; }
+
+  /// Elapsed CPU time of the calling thread in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_;
+};
+
 }  // namespace jxp
 
 #endif  // JXP_COMMON_TIMER_H_

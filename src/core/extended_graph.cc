@@ -3,8 +3,30 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace jxp {
 namespace core {
+
+namespace {
+
+/// Cache effectiveness counters (DESIGN.md §6d): a hit reuses the cached
+/// local rows and only regenerates the world row; a miss rebuilds the local
+/// rows; a rescale is the guard-loop world-row regeneration.
+struct CacheMetrics {
+  obs::Counter hits = obs::MetricsRegistry::Global().GetCounter("jxp.extended_cache.hits");
+  obs::Counter misses =
+      obs::MetricsRegistry::Global().GetCounter("jxp.extended_cache.misses");
+  obs::Counter rescales =
+      obs::MetricsRegistry::Global().GetCounter("jxp.extended_cache.rescales");
+};
+
+CacheMetrics& GetCacheMetrics() {
+  static CacheMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 void ExtendedSystemCache::RebuildLocalRows(const graph::Subgraph& fragment) {
   const size_t n = fragment.NumLocalPages();
@@ -86,7 +108,12 @@ const ExtendedGraphSystem& ExtendedSystemCache::Prepare(const graph::Subgraph& f
   JXP_CHECK_GE(global_size, n) << "global size estimate below local page count";
   JXP_CHECK_GT(world_score, 0.0);
 
-  if (!local_rows_valid_ || num_local_ != n) RebuildLocalRows(fragment);
+  if (!local_rows_valid_ || num_local_ != n) {
+    GetCacheMetrics().misses.Increment();
+    RebuildLocalRows(fragment);
+  } else {
+    GetCacheMetrics().hits.Increment();
+  }
 
   // Snapshot the world node's raw link terms, projected onto the fragment.
   terms_.clear();
@@ -121,6 +148,7 @@ const ExtendedGraphSystem& ExtendedSystemCache::Prepare(const graph::Subgraph& f
 
 const ExtendedGraphSystem& ExtendedSystemCache::Rescale(double world_score) {
   JXP_CHECK(prepared_ && local_rows_valid_) << "Rescale before Prepare";
+  GetCacheMetrics().rescales.Increment();
   RebuildWorldRow(world_score);
   return system_;
 }

@@ -3,15 +3,42 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/timer.h"
 #include "core/extended_graph.h"
 #include "markov/power_iteration.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jxp {
 namespace core {
 
 namespace {
+
+/// Meeting-path observables (DESIGN.md §6d). Counters and the non-"_ms"
+/// histograms are pure functions of the simulated meetings and therefore
+/// bit-identical across runs and thread counts; the "_ms" histograms carry
+/// wall-clock-dependent timings.
+struct MeetingMetrics {
+  obs::Counter meetings = obs::MetricsRegistry::Global().GetCounter("jxp.meetings");
+  obs::Counter merges = obs::MetricsRegistry::Global().GetCounter("jxp.merges");
+  obs::Counter merges_rejected =
+      obs::MetricsRegistry::Global().GetCounter("jxp.merges_rejected");
+  obs::Histogram wire_bytes = obs::MetricsRegistry::Global().GetHistogram(
+      "jxp.meeting.wire_bytes", p2p::WireByteBuckets());
+  obs::Histogram merge_cpu_ms = obs::MetricsRegistry::Global().GetHistogram(
+      "jxp.merge.cpu_ms", {0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000});
+  obs::Histogram pr_iterations = obs::MetricsRegistry::Global().GetHistogram(
+      "jxp.merge.pr_iterations", {1, 2, 5, 10, 20, 50, 100, 200, 500});
+  obs::Histogram world_update_ms = obs::MetricsRegistry::Global().GetHistogram(
+      "jxp.merge.world_update_ms", {0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100});
+};
+
+MeetingMetrics& GetMeetingMetrics() {
+  static MeetingMetrics metrics;
+  return metrics;
+}
 
 /// Numerical floor for the world score; Theorem 5.3 keeps the true value
 /// well above this, so the floor only guards against pathological inputs.
@@ -91,6 +118,10 @@ MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner) {
   JXP_CHECK(initiator.options_.merge_mode == partner.options_.merge_mode &&
             initiator.options_.combine_mode == partner.options_.combine_mode)
       << "meeting peers must share JXP options";
+  obs::TraceSpan span("jxp.meeting");
+  span.AddAttr("initiator", initiator.id_);
+  span.AddAttr("partner", partner.id_);
+
   // Snapshot both messages first: the exchange is simultaneous, so each side
   // must see the other's pre-meeting state.
   PeerView initiator_view = initiator.MakeView();
@@ -104,6 +135,19 @@ MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner) {
   outcome.pr_iterations_initiator = initiator.last_pr_iterations_;
   outcome.cpu_millis_partner = partner.ProcessMeeting(initiator_view);
   outcome.pr_iterations_partner = partner.last_pr_iterations_;
+
+  if (obs::Enabled()) {
+    MeetingMetrics& metrics = GetMeetingMetrics();
+    metrics.meetings.Increment();
+    metrics.wire_bytes.Observe(outcome.wire_bytes);
+  }
+  if (span.active()) {
+    span.AddAttr("wire_bytes", outcome.wire_bytes);
+    span.AddAttr("cpu_ms_initiator", outcome.cpu_millis_initiator);
+    span.AddAttr("cpu_ms_partner", outcome.cpu_millis_partner);
+    span.AddAttr("pr_iterations",
+                 outcome.pr_iterations_initiator + outcome.pr_iterations_partner);
+  }
   return outcome;
 }
 
@@ -167,12 +211,19 @@ bool JxpPeer::ShouldRejectMessage(const PeerView& partner) const {
 }
 
 double JxpPeer::ProcessMeeting(const PeerView& partner) {
+  obs::TraceSpan span("jxp.process_meeting");
+  span.AddAttr("peer", id_);
+  span.AddAttr("merge_mode",
+               options_.merge_mode == MergeMode::kLightWeight ? "light_weight"
+                                                              : "full_merge");
   CpuTimer timer;
   if (ShouldRejectMessage(partner)) {
     ++num_meetings_;
     ++rejected_meetings_;
     meeting_cpu_millis_.push_back(timer.ElapsedMillis());
     world_score_history_.push_back(world_score_);
+    if (obs::Enabled()) GetMeetingMetrics().merges_rejected.Increment();
+    span.AddAttr("rejected", true);
     return meeting_cpu_millis_.back();
   }
   if (options_.estimate_global_size && partner.page_sketch != nullptr) {
@@ -188,6 +239,17 @@ double JxpPeer::ProcessMeeting(const PeerView& partner) {
   ++num_meetings_;
   meeting_cpu_millis_.push_back(millis);
   world_score_history_.push_back(world_score_);
+  if (obs::Enabled()) {
+    MeetingMetrics& metrics = GetMeetingMetrics();
+    metrics.merges.Increment();
+    metrics.merge_cpu_ms.Observe(millis);
+    metrics.pr_iterations.Observe(last_pr_iterations_);
+  }
+  if (span.active()) {
+    span.AddAttr("rejected", false);
+    span.AddAttr("pr_iterations", last_pr_iterations_);
+    span.AddAttr("cpu_ms", millis);
+  }
   return millis;
 }
 
@@ -204,6 +266,8 @@ void JxpPeer::CombineLocalScore(graph::Subgraph::LocalIndex i, double reported) 
 }
 
 void JxpPeer::ProcessLightWeight(const PeerView& partner) {
+  std::optional<ThreadCpuTimer> world_timer;
+  if (obs::Enabled()) world_timer.emplace();
   const graph::Subgraph& other = *partner.fragment;
   // Fold the partner's local pages into our view: overlapping pages combine
   // score lists; external pages that link into our fragment enter the world
@@ -258,10 +322,15 @@ void JxpPeer::ProcessLightWeight(const PeerView& partner) {
       world_.ObserveDangling(page, score, options_.combine_mode);
     }
   }
+  if (world_timer.has_value()) {
+    GetMeetingMetrics().world_update_ms.Observe(world_timer->ElapsedMillis());
+  }
   RunLocalPageRank();
 }
 
 void JxpPeer::ProcessFullMerge(const PeerView& partner) {
+  std::optional<ThreadCpuTimer> world_timer;
+  if (obs::Enabled()) world_timer.emplace();
   const graph::Subgraph& other = *partner.fragment;
   // Merged graph G_M = union of the two fragments with full out-link
   // knowledge; merged score list L_M combines overlapping pages.
@@ -298,6 +367,9 @@ void JxpPeer::ProcessFullMerge(const PeerView& partner) {
   };
   absorb_world(world_);
   absorb_world(partner.world);
+  if (world_timer.has_value()) {
+    GetMeetingMetrics().world_update_ms.Observe(world_timer->ElapsedMillis());
+  }
 
   // World-node score per Eq. 1, then PageRank on G_M + W_M, with the same
   // self-consistent-denominator guard as RunLocalPageRank.

@@ -3,8 +3,29 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace jxp {
 namespace core {
+
+namespace {
+
+/// Convergence gauges (last recorded sample). Set only from the simulation
+/// thread (single writer), as the Gauge contract requires.
+struct ConvergenceMetrics {
+  obs::Gauge footrule =
+      obs::MetricsRegistry::Global().GetGauge("jxp.convergence.footrule");
+  obs::Gauge linear_error =
+      obs::MetricsRegistry::Global().GetGauge("jxp.convergence.linear_error");
+};
+
+ConvergenceMetrics& GetConvergenceMetrics() {
+  static ConvergenceMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 JxpSimulation::JxpSimulation(const graph::Graph& global,
                              std::vector<std::vector<graph::PageId>> fragments,
@@ -46,6 +67,46 @@ JxpSimulation::JxpSimulation(const graph::Graph& global,
   if (config_.churn.leave_probability > 0 || config_.churn.join_probability > 0) {
     churn_ = std::make_unique<p2p::ChurnModel>(config_.churn, config_.seed ^ 0xc0ffee);
   }
+
+  if (config_.monitor_every > 0) {
+    next_monitor_at_ = config_.monitor_every;
+    RecordConvergencePoint();  // The meetings=0 baseline sample.
+  }
+}
+
+void JxpSimulation::RecordConvergencePoint() {
+  ConvergencePoint point;
+  point.meetings = meetings_done_;
+  point.accuracy = Evaluate();
+  point.total_traffic_bytes = network_.TotalTrafficBytes();
+  double world_sum = 0;
+  size_t alive = 0;
+  for (const JxpPeer& peer : peers_) {
+    if (!network_.IsAlive(peer.id())) continue;
+    world_sum += peer.world_score();
+    ++alive;
+  }
+  point.mean_world_score = alive > 0 ? world_sum / static_cast<double>(alive) : 0;
+  convergence_series_.push_back(point);
+
+  if (obs::Enabled()) {
+    ConvergenceMetrics& metrics = GetConvergenceMetrics();
+    metrics.footrule.Set(point.accuracy.footrule);
+    metrics.linear_error.Set(point.accuracy.linear_error);
+  }
+  obs::EmitEvent("convergence", [&](obs::JsonWriter& writer) {
+    writer.Field("meetings", point.meetings)
+        .Field("footrule", point.accuracy.footrule)
+        .Field("linear_error", point.accuracy.linear_error)
+        .Field("total_traffic_bytes", point.total_traffic_bytes)
+        .Field("mean_world_score", point.mean_world_score);
+  });
+}
+
+void JxpSimulation::MaybeMonitor() {
+  if (config_.monitor_every == 0 || meetings_done_ < next_monitor_at_) return;
+  while (next_monitor_at_ <= meetings_done_) next_monitor_at_ += config_.monitor_every;
+  RecordConvergencePoint();
 }
 
 void JxpSimulation::RunMeetings(size_t count) {
@@ -64,6 +125,7 @@ void JxpSimulation::RunMeetings(size_t count) {
     network_.RecordMeetingTraffic(selection.partner,
                                   outcome.bytes_sent_partner + extra / 2);
     ++meetings_done_;
+    MaybeMonitor();
   }
 }
 
@@ -123,6 +185,11 @@ void JxpSimulation::RunMeetingsParallel(size_t count) {
       ++meetings_done_;
     }
     remaining -= round.size();
+    // One sample per cadence crossing; a round that jumps several multiples
+    // still yields one point (at the round boundary), and because the round
+    // structure is a pure function of the seed the series is identical at
+    // every thread count.
+    MaybeMonitor();
   }
 }
 

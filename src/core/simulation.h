@@ -58,6 +58,28 @@ struct SimulationConfig {
   /// bit-reproducible across thread counts > 1 but not bit-identical with
   /// the sequential kernel.
   size_t baseline_num_threads = 1;
+  /// Convergence monitoring cadence: when > 0, the simulation records a
+  /// ConvergencePoint (accuracy vs the centralized baseline, cumulative
+  /// traffic, mean world score) at construction and then each time
+  /// meetings_done() crosses a multiple of this value, also emitting a
+  /// "convergence" trace event and updating the jxp.convergence.* gauges.
+  /// Monitoring reads only sequentially-owned state, so the recorded series
+  /// is identical between RunMeetings and RunMeetingsParallel schedules at
+  /// matching meeting counts, and across thread counts. 0 = off.
+  size_t monitor_every = 0;
+};
+
+/// One sample of the convergence monitor (see SimulationConfig::monitor_every).
+struct ConvergencePoint {
+  /// Meetings executed when the sample was taken.
+  size_t meetings = 0;
+  /// Accuracy against centralized PageRank at that moment.
+  AccuracyPoint accuracy;
+  /// Cumulative network traffic (Network::TotalTrafficBytes convention).
+  double total_traffic_bytes = 0;
+  /// Mean world score over alive peers — the paper's Theorem 5.3 monotone
+  /// quantity, a cheap scalar proxy of global convergence.
+  double mean_world_score = 0;
 };
 
 /// A complete JXP network simulation: the global graph, one JxpPeer per
@@ -90,6 +112,12 @@ class JxpSimulation {
   /// Number of meetings executed so far.
   size_t meetings_done() const { return meetings_done_; }
 
+  /// Samples recorded by the convergence monitor (empty when
+  /// config.monitor_every == 0).
+  const std::vector<ConvergencePoint>& convergence_series() const {
+    return convergence_series_;
+  }
+
   /// The peers, indexed by PeerId.
   const std::vector<JxpPeer>& peers() const { return peers_; }
 
@@ -116,6 +144,12 @@ class JxpSimulation {
   void ReplaceFragment(p2p::PeerId peer, std::vector<graph::PageId> pages);
 
  private:
+  /// Appends a ConvergencePoint for the current state and emits it as a
+  /// "convergence" trace event + gauge updates.
+  void RecordConvergencePoint();
+  /// Records a point if meetings_done_ crossed the monitoring cadence.
+  void MaybeMonitor();
+
   const graph::Graph& global_;
   SimulationConfig config_;
   Random rng_;
@@ -127,6 +161,8 @@ class JxpSimulation {
   std::vector<double> global_scores_;
   std::vector<metrics::ScoredItem> global_top_k_;
   size_t meetings_done_ = 0;
+  std::vector<ConvergencePoint> convergence_series_;
+  size_t next_monitor_at_ = 0;  // Next meetings_done_ threshold to sample at.
 };
 
 }  // namespace core

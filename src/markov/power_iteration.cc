@@ -3,13 +3,42 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "common/thread_pool.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jxp {
 namespace markov {
 
 namespace {
+
+/// Power-iteration observables (DESIGN.md §6d). Everything but the "_ms"
+/// histograms is a pure function of the inputs and bit-identical across
+/// runs and thread counts.
+struct PowerIterationMetrics {
+  obs::Counter runs =
+      obs::MetricsRegistry::Global().GetCounter("markov.power_iteration.runs");
+  obs::Counter iterations_total =
+      obs::MetricsRegistry::Global().GetCounter("markov.power_iteration.iterations_total");
+  obs::Histogram iterations = obs::MetricsRegistry::Global().GetHistogram(
+      "markov.power_iteration.iterations", {1, 2, 5, 10, 20, 50, 100, 200, 500});
+  obs::Histogram final_residual = obs::MetricsRegistry::Global().GetHistogram(
+      "markov.power_iteration.final_residual",
+      {1e-15, 1e-13, 1e-11, 1e-9, 1e-7, 1e-5, 1e-3, 1e-1});
+  obs::Histogram run_ms = obs::MetricsRegistry::Global().GetHistogram(
+      "markov.power_iteration.run_ms", {0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000});
+  obs::Histogram iteration_ms = obs::MetricsRegistry::Global().GetHistogram(
+      "markov.power_iteration.iteration_ms",
+      {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10});
+};
+
+PowerIterationMetrics& GetPowerIterationMetrics() {
+  static PowerIterationMetrics metrics;
+  return metrics;
+}
 
 /// Block size of the parallel kernel. The block partition — and therefore
 /// the order in which blockwise reduction partials are combined — depends
@@ -137,6 +166,12 @@ PowerIterationResult StationaryDistribution(const SparseMatrix& matrix,
   CheckDistribution(teleport, n, "teleport");
   CheckDistribution(dangling, n, "dangling");
 
+  obs::TraceSpan span("markov.power_iteration");
+  span.AddAttr("states", n);
+  span.AddAttr("threads", options.num_threads);
+  std::optional<WallTimer> wall;
+  if (obs::Enabled()) wall.emplace();
+
   PowerIterationResult result;
   std::vector<double>& x = result.distribution;
   if (init.empty()) {
@@ -165,6 +200,24 @@ PowerIterationResult StationaryDistribution(const SparseMatrix& matrix,
   }
   // Counter floating-point drift so downstream sums are exact.
   NormalizeL1(x);
+
+  if (wall.has_value()) {
+    PowerIterationMetrics& metrics = GetPowerIterationMetrics();
+    metrics.runs.Increment();
+    metrics.iterations_total.Increment(static_cast<uint64_t>(result.iterations));
+    metrics.iterations.Observe(result.iterations);
+    metrics.final_residual.Observe(result.residual);
+    const double run_ms = wall->ElapsedMillis();
+    metrics.run_ms.Observe(run_ms);
+    if (result.iterations > 0) {
+      metrics.iteration_ms.Observe(run_ms / result.iterations);
+    }
+  }
+  if (span.active()) {
+    span.AddAttr("iterations", result.iterations);
+    span.AddAttr("residual", result.residual);
+    span.AddAttr("converged", result.converged);
+  }
   return result;
 }
 

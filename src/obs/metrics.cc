@@ -1,0 +1,386 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "obs/json_writer.h"
+
+namespace jxp {
+namespace obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HistogramData
+
+HistogramData::HistogramData(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0),
+      min_(kInf),
+      max_(-kInf) {
+  for (size_t i = 0; i < upper_bounds_.size(); ++i) {
+    JXP_CHECK(std::isfinite(upper_bounds_[i])) << "histogram bound must be finite";
+    if (i > 0) {
+      JXP_CHECK_GT(upper_bounds_[i], upper_bounds_[i - 1])
+          << "histogram bounds must be strictly increasing";
+    }
+  }
+}
+
+int64_t HistogramData::ToSumUnits(double value) {
+  // floor(v * scale + 0.5): deterministic round-half-up; exact integer math
+  // from here on, so partial sums merge associatively.
+  return static_cast<int64_t>(std::floor(value * kSumScale + 0.5));
+}
+
+size_t HistogramData::BucketIndexOf(double value) const {
+  // First bound >= value: bucket i covers (bound[i-1], bound[i]], so a
+  // value exactly on a bound lands in that bound's bucket.
+  return static_cast<size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin());
+}
+
+void HistogramData::Observe(double value) {
+  JXP_CHECK(std::isfinite(value)) << "histogram sample must be finite";
+  JXP_CHECK_LE(std::abs(value), kMaxValue) << "histogram sample out of range";
+  ++counts_[BucketIndexOf(value)];
+  ++count_;
+  sum_units_ += ToSumUnits(value);
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+uint64_t HistogramData::bucket_count(size_t i) const {
+  JXP_CHECK_LT(i, upper_bounds_.size());
+  return counts_[i];
+}
+
+void HistogramData::MergeFrom(const HistogramData& other) {
+  JXP_CHECK(SameBuckets(other)) << "merging histograms with different buckets";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_units_ += other.sum_units_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void HistogramData::AccumulateRaw(const uint64_t* bucket_counts, size_t num_counts,
+                                  uint64_t count, int64_t sum_units, double min_value,
+                                  double max_value) {
+  JXP_CHECK_EQ(num_counts, counts_.size());
+  for (size_t i = 0; i < num_counts; ++i) counts_[i] += bucket_counts[i];
+  count_ += count;
+  sum_units_ += sum_units;
+  if (min_value < min_) min_ = min_value;
+  if (max_value > max_) max_ = max_value;
+}
+
+void HistogramData::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_units_ = 0;
+  min_ = kInf;
+  max_ = -kInf;
+}
+
+// ---------------------------------------------------------------------------
+// Registry shards
+
+struct MetricsRegistry::GaugeCell {
+  std::atomic<uint64_t> bits{0};
+  std::atomic<uint64_t> set_count{0};
+};
+
+struct MetricsRegistry::Shard {
+  /// Per-shard accumulators of one histogram. Cells are relaxed atomics
+  /// written only by the owning thread (plain load-modify-store, exact) and
+  /// read by Snapshot, so concurrent snapshots are race-free.
+  struct HistShard {
+    explicit HistShard(size_t num_buckets) : num_counts(num_buckets + 1) {
+      counts = std::make_unique<std::atomic<uint64_t>[]>(num_counts);
+      for (size_t i = 0; i < num_counts; ++i) counts[i].store(0, std::memory_order_relaxed);
+      min_bits.store(std::bit_cast<uint64_t>(kInf), std::memory_order_relaxed);
+      max_bits.store(std::bit_cast<uint64_t>(-kInf), std::memory_order_relaxed);
+    }
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    size_t num_counts;
+    std::atomic<uint64_t> count{0};
+    std::atomic<int64_t> sum_units{0};
+    std::atomic<uint64_t> min_bits;
+    std::atomic<uint64_t> max_bits;
+  };
+
+  std::array<std::atomic<uint64_t>, kMaxMetrics> counters{};
+  std::array<std::atomic<HistShard*>, kMaxMetrics> hists{};
+  /// Owns the HistShards published in `hists`. Appended only by the owning
+  /// thread; freed with the registry.
+  std::vector<std::unique_ptr<HistShard>> owned;
+};
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+namespace {
+std::atomic<uint64_t> g_next_registry_id{1};
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : registry_id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)),
+      gauges_(std::make_unique<GaugeCell[]>(kMaxMetrics)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked deliberately: bench exporters run from atexit handlers, which
+  // would otherwise race static destruction order.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+uint32_t MetricsRegistry::Register(std::string_view name, Kind kind,
+                                   std::vector<double> upper_bounds) {
+  JXP_CHECK(!name.empty());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t id = 0; id < metrics_.size(); ++id) {
+    if (metrics_[id].name != name) continue;
+    JXP_CHECK(metrics_[id].kind == kind)
+        << "metric '" << metrics_[id].name << "' re-registered with a different kind";
+    if (kind == Kind::kHistogram) {
+      JXP_CHECK(metrics_[id].upper_bounds == upper_bounds)
+          << "histogram '" << metrics_[id].name << "' re-registered with different buckets";
+    }
+    return static_cast<uint32_t>(id);
+  }
+  JXP_CHECK_LT(metrics_.size(), kMaxMetrics) << "metrics registry full";
+  metrics_.push_back({std::string(name), kind, std::move(upper_bounds)});
+  return static_cast<uint32_t>(metrics_.size() - 1);
+}
+
+Counter MetricsRegistry::GetCounter(std::string_view name) {
+  return Counter(this, Register(name, Kind::kCounter, {}));
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  return Gauge(this, Register(name, Kind::kGauge, {}));
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view name,
+                                        std::vector<double> upper_bounds) {
+  const uint32_t id = Register(name, Kind::kHistogram, std::move(upper_bounds));
+  const std::vector<double>* bounds;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bounds = &metrics_[id].upper_bounds;  // Stable: metrics_ is a deque.
+  }
+  return Histogram(this, id, bounds);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
+  struct CacheEntry {
+    uint64_t registry_id;
+    Shard* shard;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.registry_id == registry_id_) return *entry.shard;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  cache.push_back({registry_id_, shard});
+  return *shard;
+}
+
+void MetricsRegistry::AddCounter(uint32_t id, uint64_t n) {
+  std::atomic<uint64_t>& cell = LocalShard().counters[id];
+  cell.store(cell.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetGauge(uint32_t id, double value) {
+  GaugeCell& cell = gauges_[id];
+  cell.bits.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+  cell.set_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::ObserveHistogram(uint32_t id, const std::vector<double>& bounds,
+                                       double value) {
+  JXP_CHECK(std::isfinite(value)) << "histogram sample must be finite";
+  JXP_CHECK_LE(std::abs(value), HistogramData::kMaxValue)
+      << "histogram sample out of range";
+  Shard& shard = LocalShard();
+  Shard::HistShard* hist = shard.hists[id].load(std::memory_order_acquire);
+  if (hist == nullptr) {
+    shard.owned.push_back(std::make_unique<Shard::HistShard>(bounds.size()));
+    hist = shard.owned.back().get();
+    shard.hists[id].store(hist, std::memory_order_release);
+  }
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  std::atomic<uint64_t>& bucket_cell = hist->counts[bucket];
+  bucket_cell.store(bucket_cell.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  hist->count.store(hist->count.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  hist->sum_units.store(
+      hist->sum_units.load(std::memory_order_relaxed) + HistogramData::ToSumUnits(value),
+      std::memory_order_relaxed);
+  if (value < std::bit_cast<double>(hist->min_bits.load(std::memory_order_relaxed))) {
+    hist->min_bits.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+  }
+  if (value > std::bit_cast<double>(hist->max_bits.load(std::memory_order_relaxed))) {
+    hist->max_bits.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+  }
+}
+
+void Counter::Increment(uint64_t n) {
+  if (!Enabled() || registry_ == nullptr) return;
+  registry_->AddCounter(id_, n);
+}
+
+void Gauge::Set(double value) {
+  if (!Enabled() || registry_ == nullptr) return;
+  registry_->SetGauge(id_, value);
+}
+
+void Histogram::Observe(double value) {
+  if (!Enabled() || registry_ == nullptr) return;
+  registry_->ObserveHistogram(id_, *bounds_, value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t id = 0; id < metrics_.size(); ++id) {
+    const MetricInfo& info = metrics_[id];
+    switch (info.kind) {
+      case Kind::kCounter: {
+        uint64_t total = 0;
+        for (const auto& shard : shards_) {
+          total += shard->counters[id].load(std::memory_order_relaxed);
+        }
+        snapshot.counters.push_back({info.name, total});
+        break;
+      }
+      case Kind::kGauge: {
+        const GaugeCell& cell = gauges_[id];
+        const bool set = cell.set_count.load(std::memory_order_relaxed) > 0;
+        snapshot.gauges.push_back(
+            {info.name, std::bit_cast<double>(cell.bits.load(std::memory_order_relaxed)),
+             set});
+        break;
+      }
+      case Kind::kHistogram: {
+        HistogramData merged{info.upper_bounds};
+        for (const auto& shard : shards_) {
+          const Shard::HistShard* hist = shard->hists[id].load(std::memory_order_acquire);
+          if (hist == nullptr) continue;
+          std::vector<uint64_t> counts(hist->num_counts);
+          for (size_t i = 0; i < hist->num_counts; ++i) {
+            counts[i] = hist->counts[i].load(std::memory_order_relaxed);
+          }
+          merged.AccumulateRaw(
+              counts.data(), counts.size(), hist->count.load(std::memory_order_relaxed),
+              hist->sum_units.load(std::memory_order_relaxed),
+              std::bit_cast<double>(hist->min_bits.load(std::memory_order_relaxed)),
+              std::bit_cast<double>(hist->max_bits.load(std::memory_order_relaxed)));
+        }
+        snapshot.histograms.push_back({info.name, std::move(merged)});
+        break;
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (auto& counter : shard->counters) counter.store(0, std::memory_order_relaxed);
+    for (auto& owned : shard->owned) {
+      for (size_t i = 0; i < owned->num_counts; ++i) {
+        owned->counts[i].store(0, std::memory_order_relaxed);
+      }
+      owned->count.store(0, std::memory_order_relaxed);
+      owned->sum_units.store(0, std::memory_order_relaxed);
+      owned->min_bits.store(std::bit_cast<uint64_t>(kInf), std::memory_order_relaxed);
+      owned->max_bits.store(std::bit_cast<uint64_t>(-kInf), std::memory_order_relaxed);
+    }
+  }
+  for (size_t id = 0; id < metrics_.size(); ++id) {
+    gauges_[id].bits.store(0, std::memory_order_relaxed);
+    gauges_[id].set_count.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization
+
+bool IsTimingMetric(std::string_view name) {
+  return name.ends_with("_ms") || name.ends_with("_seconds");
+}
+
+std::string MetricsSnapshot::ToJsonLines(bool include_timing) const {
+  std::string out;
+  JsonWriter writer;
+  for (const CounterValue& counter : counters) {
+    if (!include_timing && IsTimingMetric(counter.name)) continue;
+    writer.Field("type", "counter").Field("name", counter.name).Field("value",
+                                                                      counter.value);
+    out += writer.TakeLine();
+    out.push_back('\n');
+  }
+  for (const GaugeValue& gauge : gauges) {
+    if (!include_timing && IsTimingMetric(gauge.name)) continue;
+    writer.Field("type", "gauge").Field("name", gauge.name);
+    if (gauge.set) {
+      writer.Field("value", gauge.value);
+    } else {
+      writer.FieldRawJson("value", "null");
+    }
+    out += writer.TakeLine();
+    out.push_back('\n');
+  }
+  for (const HistogramValue& histogram : histograms) {
+    if (!include_timing && IsTimingMetric(histogram.name)) continue;
+    const HistogramData& data = histogram.data;
+    writer.Field("type", "histogram")
+        .Field("name", histogram.name)
+        .Field("count", data.count())
+        .Field("sum", data.sum());
+    if (data.count() > 0) {
+      writer.Field("mean", data.mean()).Field("min", data.min()).Field("max", data.max());
+    }
+    writer.BeginArray("buckets");
+    for (size_t i = 0; i < data.num_buckets(); ++i) {
+      writer.BeginArrayObject()
+          .Field("le", data.upper_bounds()[i])
+          .Field("count", data.bucket_count(i))
+          .End();
+    }
+    writer.BeginArrayObject()
+        .Field("le", "+Inf")
+        .Field("count", data.overflow_count())
+        .End();
+    writer.End();
+    out += writer.TakeLine();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace jxp

@@ -1,0 +1,21 @@
+#include "obs/telemetry.h"
+
+#include <atomic>
+
+namespace jxp {
+namespace obs {
+
+#if JXP_OBS_ENABLED
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) { g_enabled.store(enabled, std::memory_order_relaxed); }
+
+#endif  // JXP_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace jxp

@@ -1,0 +1,192 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <ctime>
+
+#include "common/check.h"
+
+namespace jxp {
+namespace obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_thread_ordinal{0};
+
+uint64_t ThreadOrdinal() {
+  thread_local const uint64_t ordinal =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+std::vector<uint64_t>& SpanStack() {
+  thread_local std::vector<uint64_t> stack;
+  return stack;
+}
+
+double WallNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double ThreadCpuNowSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void AppendAttr(std::string& attrs, std::string_view key) {
+  if (!attrs.empty()) attrs.push_back(',');
+  attrs.push_back('"');
+  JsonWriter::AppendEscaped(attrs, key);
+  attrs += "\":";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Sinks
+
+std::unique_ptr<JsonlTraceSink> JsonlTraceSink::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return nullptr;
+  return std::make_unique<JsonlTraceSink>(file, /*owns_file=*/true);
+}
+
+JsonlTraceSink::JsonlTraceSink(std::FILE* file, bool owns_file)
+    : file_(file), owns_file_(owns_file) {
+  JXP_CHECK(file_ != nullptr);
+}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (owns_file_) std::fclose(file_);
+}
+
+void JsonlTraceSink::WriteLine(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void JsonlTraceSink::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fflush(file_);
+}
+
+void StringTraceSink::WriteLine(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.emplace_back(line);
+}
+
+std::vector<std::string> StringTraceSink::TakeLines() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> lines = std::move(lines_);
+  lines_.clear();
+  return lines;
+}
+
+TraceSink* InstallTraceSink(TraceSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+TraceSink* CurrentTraceSink() { return g_sink.load(std::memory_order_acquire); }
+
+// ---------------------------------------------------------------------------
+// Spans
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!Enabled() || CurrentTraceSink() == nullptr) return;
+  active_ = true;
+  name_ = name;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint64_t>& stack = SpanStack();
+  parent_ = stack.empty() ? 0 : stack.back();
+  depth_ = static_cast<int>(stack.size());
+  stack.push_back(id_);
+  wall_start_seconds_ = WallNowSeconds();
+  cpu_start_seconds_ = ThreadCpuNowSeconds();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const double cpu_ms = (ThreadCpuNowSeconds() - cpu_start_seconds_) * 1e3;
+  const double wall_ms = (WallNowSeconds() - wall_start_seconds_) * 1e3;
+  std::vector<uint64_t>& stack = SpanStack();
+  JXP_CHECK(!stack.empty() && stack.back() == id_)
+      << "trace spans must be destroyed in LIFO order per thread";
+  stack.pop_back();
+  // The sink may have been uninstalled while the span was open.
+  TraceSink* sink = CurrentTraceSink();
+  if (sink == nullptr) return;
+  JsonWriter writer;
+  writer.Field("type", "span")
+      .Field("name", name_)
+      .Field("id", id_)
+      .Field("parent", parent_)
+      .Field("depth", depth_)
+      .Field("thread", ThreadOrdinal())
+      .Field("wall_ms", wall_ms)
+      .Field("cpu_ms", cpu_ms);
+  if (!attrs_.empty()) {
+    std::string attrs_json;
+    attrs_json.reserve(attrs_.size() + 2);
+    attrs_json.push_back('{');
+    attrs_json += attrs_;
+    attrs_json.push_back('}');
+    writer.FieldRawJson("attrs", attrs_json);
+  }
+  sink->WriteLine(writer.TakeLine());
+}
+
+void TraceSpan::AddAttr(std::string_view key, double value) {
+  if (!active_) return;
+  AppendAttr(attrs_, key);
+  JsonWriter::AppendDouble(attrs_, value);
+}
+
+void TraceSpan::AddAttr(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  AppendAttr(attrs_, key);
+  attrs_.push_back('"');
+  JsonWriter::AppendEscaped(attrs_, value);
+  attrs_.push_back('"');
+}
+
+void TraceSpan::AddAttr(std::string_view key, const char* value) {
+  AddAttr(key, std::string_view(value));
+}
+
+void TraceSpan::AddAttr(std::string_view key, bool value) {
+  if (!active_) return;
+  AppendAttr(attrs_, key);
+  attrs_ += value ? "true" : "false";
+}
+
+void TraceSpan::AddAttrInt(std::string_view key, int64_t value) {
+  AppendAttr(attrs_, key);
+  attrs_ += std::to_string(value);
+}
+
+void TraceSpan::AddAttrUint(std::string_view key, uint64_t value) {
+  AppendAttr(attrs_, key);
+  attrs_ += std::to_string(value);
+}
+
+// ---------------------------------------------------------------------------
+// Events
+
+void EmitEvent(std::string_view name, const std::function<void(JsonWriter&)>& fill) {
+  if (!Enabled()) return;
+  TraceSink* sink = CurrentTraceSink();
+  if (sink == nullptr) return;
+  JsonWriter writer;
+  writer.Field("type", "event").Field("name", name);
+  if (fill) fill(writer);
+  sink->WriteLine(writer.TakeLine());
+}
+
+}  // namespace obs
+}  // namespace jxp

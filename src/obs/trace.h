@@ -1,0 +1,137 @@
+#ifndef JXP_OBS_TRACE_H_
+#define JXP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/telemetry.h"
+
+namespace jxp {
+namespace obs {
+
+/// Consumer of the structured telemetry stream: one complete JSON object
+/// per WriteLine call (no trailing newline). Implementations must be
+/// thread-safe — spans complete on pool workers.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void WriteLine(std::string_view line) = 0;
+  virtual void Flush() {}
+};
+
+/// Writes JSON lines to a FILE*, mutex-guarded.
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Opens `path` for writing; null on failure.
+  static std::unique_ptr<JsonlTraceSink> Open(const std::string& path);
+  /// Takes ownership of `file` when `owns_file` (closed on destruction).
+  JsonlTraceSink(std::FILE* file, bool owns_file);
+  ~JsonlTraceSink() override;
+
+  void WriteLine(std::string_view line) override;
+  void Flush() override;
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_;
+  bool owns_file_;
+};
+
+/// Collects lines in memory (tests).
+class StringTraceSink : public TraceSink {
+ public:
+  void WriteLine(std::string_view line) override;
+  std::vector<std::string> TakeLines();
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+/// Installs the process-wide sink spans and events are emitted to; pass
+/// nullptr to uninstall. The caller keeps ownership and must keep the sink
+/// alive until uninstalled. Returns the previous sink.
+TraceSink* InstallTraceSink(TraceSink* sink);
+TraceSink* CurrentTraceSink();
+
+/// RAII install/restore, for tests and bench scopes.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink* sink) : previous_(InstallTraceSink(sink)) {}
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+  ~ScopedTraceSink() { InstallTraceSink(previous_); }
+
+ private:
+  TraceSink* previous_;
+};
+
+/// A scoped trace span: measures wall time and per-thread CPU time between
+/// construction and destruction and emits one "span" JSON line to the
+/// installed sink. Spans nest per thread (each record carries its id, its
+/// parent's id, and its depth) and carry key/value attributes in insertion
+/// order.
+///
+/// When telemetry is disabled or no sink is installed, construction is one
+/// atomic load and no clocks are read. `name` must outlive the span (pass a
+/// string literal). Unlike metrics, the trace stream is a *diagnostic*
+/// layer: line order and span ids depend on thread scheduling.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// True when this span will emit a record (sink installed and telemetry
+  /// enabled at construction); use to skip expensive attribute computation.
+  bool active() const { return active_; }
+
+  void AddAttr(std::string_view key, double value);
+  void AddAttr(std::string_view key, std::string_view value);
+  void AddAttr(std::string_view key, const char* value);
+  void AddAttr(std::string_view key, bool value);
+  template <typename T, std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                                         int> = 0>
+  void AddAttr(std::string_view key, T value) {
+    if (!active_) return;
+    if constexpr (std::is_signed_v<T>) {
+      AddAttrInt(key, static_cast<int64_t>(value));
+    } else {
+      AddAttrUint(key, static_cast<uint64_t>(value));
+    }
+  }
+
+ private:
+  void AddAttrInt(std::string_view key, int64_t value);
+  void AddAttrUint(std::string_view key, uint64_t value);
+
+  bool active_ = false;
+  std::string_view name_;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  int depth_ = 0;
+  double wall_start_seconds_ = 0;
+  double cpu_start_seconds_ = 0;
+  /// Attribute fields, pre-serialized as `"key":value` JSON fragments.
+  std::string attrs_;
+};
+
+/// Emits one standalone "event" JSON line: {"type":"event","name":<name>,
+/// ...fields added by `fill`}. `fill` is only invoked when a sink is
+/// installed and telemetry is enabled, so callers may compute values
+/// lazily. Thread-safe.
+void EmitEvent(std::string_view name, const std::function<void(JsonWriter&)>& fill);
+
+}  // namespace obs
+}  // namespace jxp
+
+#endif  // JXP_OBS_TRACE_H_

@@ -1,7 +1,38 @@
 #include "p2p/network.h"
 
+#include <algorithm>
+
 namespace jxp {
 namespace p2p {
+
+const std::vector<double>& WireByteBuckets() {
+  static const std::vector<double> buckets = {256,     1024,    4096,    16384,
+                                              65536,   262144,  1048576, 4194304,
+                                              16777216, 67108864};
+  return buckets;
+}
+
+void PeerTrafficSummary::MergeFrom(const PeerTrafficSummary& other) {
+  total_bytes += other.total_bytes;
+  max_bytes = std::max(max_bytes, other.max_bytes);
+  num_meetings += other.num_meetings;
+  bytes_per_meeting.MergeFrom(other.bytes_per_meeting);
+  mean_bytes = num_meetings > 0 ? total_bytes / static_cast<double>(num_meetings) : 0;
+}
+
+PeerTrafficSummary PeerTraffic::Summary() const {
+  PeerTrafficSummary summary;
+  for (double bytes : bytes_per_meeting) {
+    summary.max_bytes = std::max(summary.max_bytes, bytes);
+    summary.bytes_per_meeting.Observe(bytes);
+  }
+  summary.total_bytes = total_bytes;
+  summary.num_meetings = bytes_per_meeting.size();
+  summary.mean_bytes = summary.num_meetings > 0
+                           ? total_bytes / static_cast<double>(summary.num_meetings)
+                           : 0;
+  return summary;
+}
 
 PeerId Network::AddPeer() {
   alive_.push_back(true);
@@ -48,6 +79,12 @@ double Network::TotalTrafficBytes() const {
   double total = 0;
   for (const PeerTraffic& t : traffic_) total += t.total_bytes;
   return total;
+}
+
+PeerTrafficSummary Network::AggregateTraffic() const {
+  PeerTrafficSummary aggregate;
+  for (const PeerTraffic& t : traffic_) aggregate.MergeFrom(t.Summary());
+  return aggregate;
 }
 
 }  // namespace p2p

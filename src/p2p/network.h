@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "obs/metrics.h"
 
 namespace jxp {
 namespace p2p {
@@ -15,6 +16,24 @@ using PeerId = uint32_t;
 
 /// Sentinel for "no peer".
 inline constexpr PeerId kInvalidPeer = static_cast<PeerId>(-1);
+
+/// Shared bucket boundaries for message-size histograms: powers of four
+/// from 256 B to 64 MiB. Used both by PeerTraffic::Summary and by the
+/// jxp.meeting.wire_bytes metric so the two views are comparable.
+const std::vector<double>& WireByteBuckets();
+
+/// Aggregate view of a traffic series: totals plus a fixed-bucket
+/// distribution of bytes-per-meeting (buckets: WireByteBuckets()).
+struct PeerTrafficSummary {
+  double total_bytes = 0;
+  double mean_bytes = 0;
+  double max_bytes = 0;
+  size_t num_meetings = 0;
+  obs::HistogramData bytes_per_meeting{WireByteBuckets()};
+
+  /// Folds another summary into this one (histograms merge exactly).
+  void MergeFrom(const PeerTrafficSummary& other);
+};
 
 /// Per-peer network traffic bookkeeping: the bytes each of the peer's
 /// meetings moved (both directions), in meeting order. Figures 11/12 plot
@@ -29,6 +48,9 @@ struct PeerTraffic {
     bytes_per_meeting.push_back(bytes);
     total_bytes += bytes;
   }
+
+  /// Summary statistics over the series.
+  PeerTrafficSummary Summary() const;
 };
 
 /// Registry of peers in a simulated P2P overlay: which peers are alive, and
@@ -81,6 +103,11 @@ class Network {
 
   /// Total bytes moved by all meetings so far.
   double TotalTrafficBytes() const;
+
+  /// Network-wide traffic summary: every peer's series merged into one.
+  /// Note each meeting is recorded by both endpoints, so totals here count
+  /// each exchange twice — same convention as TotalTrafficBytes.
+  PeerTrafficSummary AggregateTraffic() const;
 
  private:
   std::vector<bool> alive_;

@@ -34,6 +34,19 @@ TEST(CpuTimerTest, MeasuresCpuWork) {
   EXPECT_GE(timer.ElapsedMillis(), 0.0);
 }
 
+TEST(ThreadCpuTimerTest, MeasuresCallingThreadCpu) {
+  ThreadCpuTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 5000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  const double busy = timer.ElapsedSeconds();
+  EXPECT_GT(busy, 0.0);
+  // The thread clock must not run while the thread sleeps.
+  timer.Reset();
+  timespec nap{0, 20 * 1000 * 1000};  // 20 ms.
+  nanosleep(&nap, nullptr);
+  EXPECT_LT(timer.ElapsedMillis(), 15.0);
+}
+
 TEST(CpuTimerTest, MonotoneNonDecreasing) {
   CpuTimer timer;
   double last = 0;

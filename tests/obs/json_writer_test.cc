@@ -1,0 +1,102 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "json_parse.h"
+
+namespace jxp {
+namespace {
+
+using obs::JsonWriter;
+using obs_test::JsonValue;
+using obs_test::ParseJson;
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter writer;
+  EXPECT_EQ(writer.TakeLine(), "{}");
+}
+
+TEST(JsonWriterTest, KeysKeepInsertionOrder) {
+  JsonWriter writer;
+  writer.Field("zebra", 1).Field("apple", 2).Field("mango", 3);
+  EXPECT_EQ(writer.TakeLine(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(JsonWriterTest, ScalarTypes) {
+  JsonWriter writer;
+  writer.Field("s", "text")
+      .Field("d", 2.5)
+      .Field("i", int64_t{-7})
+      .Field("u", uint64_t{18446744073709551615ull})
+      .Field("b", true)
+      .FieldRawJson("raw", "null");
+  EXPECT_EQ(writer.TakeLine(),
+            "{\"s\":\"text\",\"d\":2.5,\"i\":-7,\"u\":18446744073709551615,"
+            "\"b\":true,\"raw\":null}");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  JsonWriter writer;
+  writer.Field("k", "a\"b\\c\nd\te\x01" "f");
+  const std::string line = writer.TakeLine();
+  EXPECT_EQ(line, "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001f\"}");
+  JsonValue parsed;
+  ASSERT_TRUE(ParseJson(line, parsed));
+  EXPECT_EQ(parsed.Str("k"), "a\"b\\c\nd\te\x01" "f");
+}
+
+TEST(JsonWriterTest, DoublesRoundTrip) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0, 45133.8}) {
+    JsonWriter writer;
+    writer.Field("v", v);
+    JsonValue parsed;
+    ASSERT_TRUE(ParseJson(writer.TakeLine(), parsed));
+    EXPECT_EQ(parsed.Num("v"), v);
+  }
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter writer;
+  writer.Field("nan", std::nan(""))
+      .Field("inf", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(writer.TakeLine(), "{\"nan\":null,\"inf\":null}");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter writer;
+  writer.Field("name", "h");
+  writer.BeginArray("buckets");
+  writer.BeginArrayObject().Field("le", 10.0).Field("count", 3).End();
+  writer.BeginArrayObject().Field("le", "+Inf").Field("count", 1).End();
+  writer.End();
+  writer.BeginObject("meta").Field("kind", "histogram").End();
+  const std::string line = writer.TakeLine();
+  EXPECT_EQ(line,
+            "{\"name\":\"h\",\"buckets\":[{\"le\":10,\"count\":3},"
+            "{\"le\":\"+Inf\",\"count\":1}],\"meta\":{\"kind\":\"histogram\"}}");
+  JsonValue parsed;
+  ASSERT_TRUE(ParseJson(line, parsed));
+  const JsonValue* buckets = parsed.Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->array.size(), 2u);
+  EXPECT_EQ(buckets->array[0].Num("count"), 3);
+}
+
+TEST(JsonWriterTest, TakeLineClosesOpenScopesAndResets) {
+  JsonWriter writer;
+  writer.BeginObject("a").BeginArray("b").Element(1.0);
+  EXPECT_EQ(writer.TakeLine(), "{\"a\":{\"b\":[1]}}");
+  writer.Field("fresh", 1);
+  EXPECT_EQ(writer.TakeLine(), "{\"fresh\":1}");
+}
+
+TEST(JsonWriterTest, ScalarArrayElements) {
+  JsonWriter writer;
+  writer.BeginArray("xs").Element(1.5).Element("two").End();
+  EXPECT_EQ(writer.TakeLine(), "{\"xs\":[1.5,\"two\"]}");
+}
+
+}  // namespace
+}  // namespace jxp

@@ -1,0 +1,249 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace jxp {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::HistogramData;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+TEST(HistogramDataTest, BucketBoundariesAreInclusiveUpperBounds) {
+  HistogramData h({1.0, 10.0, 100.0});
+  // Bucket i covers (bound[i-1], bound[i]]; values on a boundary land in
+  // the bucket the boundary closes.
+  EXPECT_EQ(h.BucketIndexOf(1.0), 0u);
+  EXPECT_EQ(h.BucketIndexOf(1.0000001), 1u);
+  EXPECT_EQ(h.BucketIndexOf(10.0), 1u);
+  EXPECT_EQ(h.BucketIndexOf(100.0), 2u);
+  // Below the first bound, including negatives, is bucket 0.
+  EXPECT_EQ(h.BucketIndexOf(0.5), 0u);
+  EXPECT_EQ(h.BucketIndexOf(-5.0), 0u);
+  // Above the last bound is the overflow bucket.
+  EXPECT_EQ(h.BucketIndexOf(100.0001), 3u);
+
+  h.Observe(1.0);
+  h.Observe(10.0);
+  h.Observe(100.0);
+  h.Observe(1000.0);
+  h.Observe(-5.0);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // 1.0 and -5.0.
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.min(), -5.0);
+  EXPECT_EQ(h.max(), 1000.0);
+}
+
+TEST(HistogramDataTest, BucketlessHistogramStillTracksMoments) {
+  HistogramData h;
+  EXPECT_EQ(h.num_buckets(), 0u);
+  h.Observe(3.0);
+  h.Observe(5.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.sum(), 8.0);
+  EXPECT_EQ(h.mean(), 4.0);
+}
+
+TEST(HistogramDataTest, SumIsQuantizedFixedPoint) {
+  // 0.5 is exactly representable in units of 2^-20; 1/3 is not and gets
+  // rounded to the nearest unit.
+  EXPECT_EQ(HistogramData::ToSumUnits(0.5),
+            static_cast<int64_t>(HistogramData::kSumScale / 2));
+  HistogramData h;
+  h.Observe(0.5);
+  EXPECT_EQ(h.sum(), 0.5);
+  const double third = 1.0 / 3.0;
+  HistogramData g;
+  g.Observe(third);
+  EXPECT_EQ(g.sum(), static_cast<double>(HistogramData::ToSumUnits(third)) /
+                         HistogramData::kSumScale);
+  EXPECT_NEAR(g.sum(), third, 1.0 / HistogramData::kSumScale);
+}
+
+TEST(HistogramDataTest, MergeMatchesSingleAccumulator) {
+  const std::vector<double> bounds = {1.0, 4.0, 16.0};
+  HistogramData whole(bounds);
+  HistogramData part_a(bounds);
+  HistogramData part_b(bounds);
+  const std::vector<double> samples = {0.25, 1.0, 2.5, 4.0, 7.7, 16.0, 30.0, -1.0};
+  for (size_t i = 0; i < samples.size(); ++i) {
+    whole.Observe(samples[i]);
+    (i % 2 == 0 ? part_a : part_b).Observe(samples[i]);
+  }
+  part_a.MergeFrom(part_b);
+  EXPECT_EQ(part_a.count(), whole.count());
+  EXPECT_EQ(part_a.sum(), whole.sum());
+  EXPECT_EQ(part_a.min(), whole.min());
+  EXPECT_EQ(part_a.max(), whole.max());
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_EQ(part_a.bucket_count(i), whole.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(part_a.overflow_count(), whole.overflow_count());
+}
+
+TEST(HistogramDataTest, ClearKeepsLayout) {
+  HistogramData h({2.0, 8.0});
+  h.Observe(1.0);
+  h.Observe(100.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.num_buckets(), 2u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+}
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  Counter c = registry.GetCounter("test.counter");
+  c.Increment();
+  c.Increment(41);
+  Gauge g = registry.GetGauge("test.gauge");
+  g.Set(2.5);
+  g.Set(7.25);  // Last set wins.
+  Histogram h = registry.GetHistogram("test.hist", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].name, "test.counter");
+  EXPECT_EQ(snapshot.counters[0].value, 42u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_TRUE(snapshot.gauges[0].set);
+  EXPECT_EQ(snapshot.gauges[0].value, 7.25);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].data.count(), 3u);
+  EXPECT_EQ(snapshot.histograms[0].data.bucket_count(0), 1u);
+  EXPECT_EQ(snapshot.histograms[0].data.bucket_count(1), 1u);
+  EXPECT_EQ(snapshot.histograms[0].data.overflow_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ReRegisteringReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter a = registry.GetCounter("dup");
+  Counter b = registry.GetCounter("dup");
+  a.Increment();
+  b.Increment();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].value, 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortsByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");
+  EXPECT_EQ(snapshot.counters[1].name, "mid");
+  EXPECT_EQ(snapshot.counters[2].name, "zeta");
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverythingKeepsHandles) {
+  MetricsRegistry registry;
+  Counter c = registry.GetCounter("c");
+  Histogram h = registry.GetHistogram("h", {1.0});
+  Gauge g = registry.GetGauge("g");
+  c.Increment();
+  h.Observe(0.5);
+  g.Set(9.0);
+  registry.Reset();
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters[0].value, 0u);
+  EXPECT_EQ(snapshot.histograms[0].data.count(), 0u);
+  EXPECT_FALSE(snapshot.gauges[0].set);
+  // Handles stay live after Reset.
+  c.Increment();
+  h.Observe(0.5);
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters[0].value, 1u);
+  EXPECT_EQ(snapshot.histograms[0].data.count(), 1u);
+}
+
+TEST(MetricsRegistryTest, IsTimingMetricNamingConvention) {
+  EXPECT_TRUE(obs::IsTimingMetric("jxp.merge.cpu_ms"));
+  EXPECT_TRUE(obs::IsTimingMetric("bench.wall_seconds"));
+  EXPECT_FALSE(obs::IsTimingMetric("jxp.meetings"));
+  EXPECT_FALSE(obs::IsTimingMetric("jxp.meeting.wire_bytes"));
+}
+
+// The determinism contract: the same multiset of observations, split across
+// any number of pool workers, must merge into a byte-identical snapshot.
+TEST(MetricsRegistryTest, SnapshotDeterministicAcrossThreadCounts) {
+  const size_t kItems = 4096;
+  std::string reference;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    MetricsRegistry registry;
+    Counter items = registry.GetCounter("det.items");
+    Counter weighted = registry.GetCounter("det.weighted");
+    Histogram values = registry.GetHistogram("det.values", {0.25, 0.5, 1.0, 2.0});
+    Histogram wide = registry.GetHistogram("det.wide", {100.0, 10000.0});
+    ThreadPool pool(threads);
+    pool.ParallelFor(0, kItems, 64, [&](size_t i) {
+      items.Increment();
+      weighted.Increment(i % 7);
+      // Irrational-ish spread of doubles; identical multiset every run.
+      values.Observe(std::fmod(static_cast<double>(i) * 0.6180339887, 2.5));
+      wide.Observe(static_cast<double>((i * i) % 30011));
+    });
+    const std::string lines = registry.Snapshot().ToJsonLines(/*include_timing=*/false);
+    if (reference.empty()) {
+      reference = lines;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(lines, reference) << "snapshot differs at " << threads << " threads";
+    }
+  }
+}
+
+// Registration from pool workers racing with recording must be safe (the
+// TSan CI job runs this).
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndRecording) {
+  MetricsRegistry registry;
+  ThreadPool pool(8);
+  pool.ParallelFor(0, 512, 1, [&](size_t i) {
+    Counter c = registry.GetCounter("concurrent.counter" + std::to_string(i % 16));
+    c.Increment();
+    Histogram h =
+        registry.GetHistogram("concurrent.hist" + std::to_string(i % 16), {1.0, 2.0});
+    h.Observe(static_cast<double>(i % 3));
+  });
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 16u);
+  uint64_t total = 0;
+  for (const auto& c : snapshot.counters) total += c.value;
+  EXPECT_EQ(total, 512u);
+  uint64_t observations = 0;
+  for (const auto& h : snapshot.histograms) observations += h.data.count();
+  EXPECT_EQ(observations, 512u);
+}
+
+TEST(MetricsSnapshotTest, ToJsonLinesFiltersTimingMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count").Increment();
+  registry.GetHistogram("a.cpu_ms", {1.0}).Observe(0.5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string with_timing = snapshot.ToJsonLines(true);
+  const std::string without_timing = snapshot.ToJsonLines(false);
+  EXPECT_NE(with_timing.find("a.cpu_ms"), std::string::npos);
+  EXPECT_EQ(without_timing.find("a.cpu_ms"), std::string::npos);
+  EXPECT_NE(without_timing.find("a.count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jxp

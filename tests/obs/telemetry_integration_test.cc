@@ -1,0 +1,202 @@
+// End-to-end validation of the telemetry stream against a real JXP
+// simulation: meeting and power-iteration spans, convergence events, the
+// metrics snapshot, and the determinism contracts (telemetry on vs off,
+// and across thread counts).
+
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "crawler/partitioner.h"
+#include "datasets/collections.h"
+#include "gtest/gtest.h"
+#include "json_parse.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace jxp {
+namespace {
+
+using obs_test::JsonValue;
+using obs_test::ParseJson;
+
+datasets::Collection SmallCollection() { return datasets::MakeAmazonLike(0.02, 11); }
+
+std::vector<std::vector<graph::PageId>> SmallPartition(
+    const datasets::Collection& collection) {
+  Random rng(13);
+  crawler::PartitionOptions options;
+  options.peers_per_category = 1;
+  options.crawler.max_pages =
+      std::max<size_t>(20, collection.data.graph.NumNodes() * 3 /
+                               (options.peers_per_category *
+                                collection.data.num_categories));
+  options.crawler.max_depth = 8;
+  return CrawlBasedPartition(collection.data, options, rng);
+}
+
+core::SimulationConfig SmallConfig() {
+  core::SimulationConfig config;
+  config.jxp.damping = 0.85;
+  config.jxp.pr_tolerance = 1e-10;
+  config.jxp.pr_max_iterations = 200;
+  config.seed = 5;
+  config.eval_top_k = 50;
+  return config;
+}
+
+uint64_t SnapshotCounter(const obs::MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == name) return counter.value;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return 0;
+}
+
+TEST(TelemetryIntegrationTest, StreamContainsSpansEventsAndValidJson) {
+  const datasets::Collection collection = SmallCollection();
+  const auto fragments = SmallPartition(collection);
+
+  obs::MetricsRegistry::Global().Reset();
+  obs::StringTraceSink sink;
+  obs::ScopedTraceSink installed(&sink);
+
+  core::SimulationConfig config = SmallConfig();
+  config.monitor_every = 10;
+  core::JxpSimulation sim(collection.data.graph, fragments, config);
+  sim.RunMeetings(30);
+
+  // Every line must be a complete JSON object.
+  size_t meeting_spans = 0;
+  size_t process_spans = 0;
+  size_t power_spans = 0;
+  size_t convergence_events = 0;
+  for (const std::string& line : sink.TakeLines()) {
+    JsonValue record;
+    ASSERT_TRUE(ParseJson(line, record)) << "invalid JSON line: " << line;
+    const std::string type = record.Str("type");
+    ASSERT_TRUE(type == "span" || type == "event") << line;
+    const std::string name = record.Str("name");
+    if (type == "span") {
+      EXPECT_GE(record.Num("wall_ms"), 0.0) << line;
+      EXPECT_GE(record.Num("cpu_ms"), 0.0) << line;
+      ASSERT_NE(record.Find("id"), nullptr);
+    }
+    if (name == "jxp.meeting") {
+      ++meeting_spans;
+      const JsonValue* attrs = record.Find("attrs");
+      ASSERT_NE(attrs, nullptr) << line;
+      EXPECT_GT(attrs->Num("wire_bytes"), 0.0) << line;
+      ASSERT_NE(attrs->Find("cpu_ms_initiator"), nullptr);
+      ASSERT_NE(attrs->Find("pr_iterations"), nullptr);
+    } else if (name == "jxp.process_meeting") {
+      ++process_spans;
+      // Nested under the meeting span, on the same thread.
+      EXPECT_EQ(record.Num("depth"), 1) << line;
+      EXPECT_GT(record.Num("parent"), 0.0) << line;
+    } else if (name == "markov.power_iteration") {
+      ++power_spans;
+      const JsonValue* attrs = record.Find("attrs");
+      ASSERT_NE(attrs, nullptr) << line;
+      EXPECT_GE(attrs->Num("iterations"), 1.0) << line;
+      ASSERT_NE(attrs->Find("residual"), nullptr);
+    } else if (type == "event" && name == "convergence") {
+      ++convergence_events;
+      ASSERT_NE(record.Find("meetings"), nullptr);
+      ASSERT_NE(record.Find("footrule"), nullptr);
+      ASSERT_NE(record.Find("linear_error"), nullptr);
+      ASSERT_NE(record.Find("mean_world_score"), nullptr);
+    }
+  }
+  EXPECT_EQ(meeting_spans, 30u);
+  EXPECT_EQ(process_spans, 60u);  // Both sides of every meeting.
+  EXPECT_GT(power_spans, 0u);
+  // monitor_every=10 over 30 meetings: the meetings=0 baseline + 3 samples.
+  EXPECT_EQ(convergence_events, 4u);
+  EXPECT_EQ(sim.convergence_series().size(), 4u);
+  EXPECT_EQ(sim.convergence_series().front().meetings, 0u);
+  EXPECT_EQ(sim.convergence_series().back().meetings, 30u);
+  EXPECT_GT(sim.convergence_series().back().total_traffic_bytes, 0.0);
+
+  // The registry agrees with the stream.
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(SnapshotCounter(snapshot, "jxp.meetings"), 30u);
+  EXPECT_EQ(SnapshotCounter(snapshot, "jxp.merges"), 60u);
+  EXPECT_GT(SnapshotCounter(snapshot, "markov.power_iteration.runs"), 0u);
+  EXPECT_GT(SnapshotCounter(snapshot, "markov.power_iteration.iterations_total"),
+            SnapshotCounter(snapshot, "markov.power_iteration.runs"));
+  EXPECT_GT(SnapshotCounter(snapshot, "jxp.extended_cache.hits"), 0u);
+}
+
+TEST(TelemetryIntegrationTest, ResultsBitIdenticalWithTelemetryOnAndOff) {
+  const datasets::Collection collection = SmallCollection();
+  const auto fragments = SmallPartition(collection);
+
+  const auto run = [&](bool telemetry) {
+    obs::ScopedEnable enable(telemetry);
+    obs::StringTraceSink sink;
+    obs::ScopedTraceSink installed(telemetry ? &sink : nullptr);
+    core::SimulationConfig config = SmallConfig();
+    config.monitor_every = telemetry ? 10 : 0;
+    core::JxpSimulation sim(collection.data.graph, fragments, config);
+    sim.RunMeetings(20);
+    std::vector<std::vector<double>> scores;
+    for (const core::JxpPeer& peer : sim.peers()) scores.push_back(peer.local_scores());
+    return scores;
+  };
+
+  const auto with_telemetry = run(true);
+  const auto without_telemetry = run(false);
+  ASSERT_EQ(with_telemetry.size(), without_telemetry.size());
+  for (size_t p = 0; p < with_telemetry.size(); ++p) {
+    ASSERT_EQ(with_telemetry[p].size(), without_telemetry[p].size());
+    for (size_t i = 0; i < with_telemetry[p].size(); ++i) {
+      // Bitwise comparison: telemetry must not perturb the algorithm.
+      EXPECT_EQ(with_telemetry[p][i], without_telemetry[p][i])
+          << "peer " << p << " page " << i;
+    }
+  }
+}
+
+TEST(TelemetryIntegrationTest, SnapshotAndScoresBitIdenticalAcrossThreadCounts) {
+  const datasets::Collection collection = SmallCollection();
+  const auto fragments = SmallPartition(collection);
+
+  std::string reference_metrics;
+  std::vector<std::vector<double>> reference_scores;
+  for (const size_t threads : {1u, 2u, 4u}) {
+    obs::MetricsRegistry::Global().Reset();
+    core::SimulationConfig config = SmallConfig();
+    config.num_threads = threads;
+    config.monitor_every = 8;
+    core::JxpSimulation sim(collection.data.graph, fragments, config);
+    sim.RunMeetingsParallel(24);
+
+    // Timing metrics are the only run-dependent ones; everything else must
+    // be byte-identical at every thread count.
+    const std::string metrics =
+        obs::MetricsRegistry::Global().Snapshot().ToJsonLines(/*include_timing=*/false);
+    std::vector<std::vector<double>> scores;
+    for (const core::JxpPeer& peer : sim.peers()) scores.push_back(peer.local_scores());
+
+    if (reference_metrics.empty()) {
+      reference_metrics = metrics;
+      reference_scores = scores;
+      ASSERT_NE(reference_metrics.find("jxp.meetings"), std::string::npos);
+    } else {
+      EXPECT_EQ(metrics, reference_metrics) << "metrics differ at " << threads
+                                            << " threads";
+      ASSERT_EQ(scores.size(), reference_scores.size());
+      for (size_t p = 0; p < scores.size(); ++p) {
+        EXPECT_EQ(scores[p], reference_scores[p]) << "peer " << p;
+      }
+    }
+    // The convergence monitor sampled the same meeting counts regardless of
+    // thread count (the round structure is a pure function of the seed).
+    ASSERT_FALSE(sim.convergence_series().empty());
+    EXPECT_EQ(sim.convergence_series().front().meetings, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace jxp

@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "json_parse.h"
+
+namespace jxp {
+namespace {
+
+using obs::EmitEvent;
+using obs::ScopedTraceSink;
+using obs::StringTraceSink;
+using obs::TraceSpan;
+using obs_test::JsonValue;
+using obs_test::ParseJson;
+
+JsonValue ParseLine(const std::string& line) {
+  JsonValue value;
+  EXPECT_TRUE(ParseJson(line, value)) << "invalid JSON: " << line;
+  return value;
+}
+
+const JsonValue* FindByName(const std::vector<JsonValue>& records,
+                            const std::string& name) {
+  for (const JsonValue& r : records) {
+    if (r.Str("name") == name) return &r;
+  }
+  return nullptr;
+}
+
+TEST(TraceSpanTest, NestingRecordsParentAndDepth) {
+  StringTraceSink sink;
+  ScopedTraceSink installed(&sink);
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+    }
+  }
+  const std::vector<std::string> lines = sink.TakeLines();
+  ASSERT_EQ(lines.size(), 2u);
+  std::vector<JsonValue> records;
+  for (const std::string& line : lines) records.push_back(ParseLine(line));
+  // Spans emit at destruction: inner first.
+  const JsonValue* outer = FindByName(records, "outer");
+  const JsonValue* inner = FindByName(records, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->Str("type"), "span");
+  EXPECT_EQ(outer->Num("depth"), 0);
+  EXPECT_EQ(outer->Num("parent"), 0);
+  EXPECT_EQ(inner->Num("depth"), 1);
+  EXPECT_EQ(inner->Num("parent"), outer->Num("id"));
+  EXPECT_NE(inner->Num("id"), outer->Num("id"));
+  // Timings are present and sane.
+  EXPECT_GE(outer->Num("wall_ms"), 0.0);
+  EXPECT_GE(outer->Num("cpu_ms"), 0.0);
+  EXPECT_GE(outer->Num("wall_ms"), inner->Num("wall_ms"));
+}
+
+TEST(TraceSpanTest, AttributesRoundTripThroughJson) {
+  StringTraceSink sink;
+  ScopedTraceSink installed(&sink);
+  {
+    TraceSpan span("attrs");
+    ASSERT_TRUE(span.active());
+    span.AddAttr("text", "with \"quotes\" and\nnewline");
+    span.AddAttr("ratio", 0.375);
+    span.AddAttr("count", uint64_t{42});
+    span.AddAttr("delta", int64_t{-3});
+    span.AddAttr("ok", true);
+  }
+  const std::vector<std::string> lines = sink.TakeLines();
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue record = ParseLine(lines[0]);
+  const JsonValue* attrs = record.Find("attrs");
+  ASSERT_NE(attrs, nullptr);
+  EXPECT_EQ(attrs->Str("text"), "with \"quotes\" and\nnewline");
+  EXPECT_EQ(attrs->Num("ratio"), 0.375);
+  EXPECT_EQ(attrs->Num("count"), 42);
+  EXPECT_EQ(attrs->Num("delta"), -3);
+  const JsonValue* ok = attrs->Find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->boolean);
+}
+
+TEST(TraceSpanTest, InactiveWithoutSink) {
+  {
+    TraceSpan span("unsunk");
+    EXPECT_FALSE(span.active());
+    span.AddAttr("ignored", 1.0);  // Must be a no-op, not a crash.
+  }
+  // Installing a sink afterwards must not receive anything retroactively.
+  StringTraceSink sink;
+  ScopedTraceSink installed(&sink);
+  EXPECT_TRUE(sink.TakeLines().empty());
+}
+
+TEST(TraceSpanTest, InactiveWhenDisabled) {
+  StringTraceSink sink;
+  ScopedTraceSink installed(&sink);
+  {
+    obs::ScopedEnable disabled(false);
+    TraceSpan span("disabled");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(sink.TakeLines().empty());
+}
+
+TEST(TraceEventTest, EmitsNameAndFields) {
+  StringTraceSink sink;
+  ScopedTraceSink installed(&sink);
+  EmitEvent("checkpoint", [](obs::JsonWriter& writer) {
+    writer.Field("meetings", 120).Field("footrule", 0.25);
+  });
+  const std::vector<std::string> lines = sink.TakeLines();
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue record = ParseLine(lines[0]);
+  EXPECT_EQ(record.Str("type"), "event");
+  EXPECT_EQ(record.Str("name"), "checkpoint");
+  EXPECT_EQ(record.Num("meetings"), 120);
+  EXPECT_EQ(record.Num("footrule"), 0.25);
+}
+
+TEST(TraceEventTest, FillNotInvokedWithoutSink) {
+  bool invoked = false;
+  EmitEvent("dropped", [&](obs::JsonWriter&) { invoked = true; });
+  EXPECT_FALSE(invoked);
+}
+
+TEST(TraceSinkTest, InstallReturnsPrevious) {
+  StringTraceSink a;
+  StringTraceSink b;
+  obs::TraceSink* original = obs::InstallTraceSink(&a);
+  EXPECT_EQ(obs::InstallTraceSink(&b), &a);
+  EXPECT_EQ(obs::CurrentTraceSink(), &b);
+  obs::InstallTraceSink(original);
+}
+
+}  // namespace
+}  // namespace jxp
