@@ -127,6 +127,17 @@ const ExtendedGraphSystem& ExtendedSystemCache::Prepare(const graph::Subgraph& f
       terms_.push_back({t, inv_out, info.score});
     }
   }
+  // Canonical term order. The map's iteration order depends on its insertion
+  // history, which differs between a live peer and the same peer restored
+  // from a state_io file; sorting makes the world row's accumulation order —
+  // and with it every downstream float — a function of the world node's
+  // *content* only, so a saved-and-reloaded peer computes bit-identical
+  // scores.
+  std::sort(terms_.begin(), terms_.end(), [](const WorldTerm& a, const WorldTerm& b) {
+    if (a.target != b.target) return a.target < b.target;
+    if (a.inv_out != b.inv_out) return a.inv_out < b.inv_out;
+    return a.score < b.score;
+  });
   dangling_mass_ = world.TotalDanglingScore();
   global_size_ = global_size;
   weighting_ = weighting;

@@ -114,7 +114,13 @@ double JxpPeer::ScoreOfGlobal(graph::PageId page) const {
 }
 
 MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner) {
+  return Meet(initiator, partner, p2p::MeetingFaultDecision());
+}
+
+MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner,
+                             const p2p::MeetingFaultDecision& faults) {
   JXP_CHECK_NE(initiator.id_, partner.id_) << "peer meeting itself";
+  JXP_CHECK(!faults.abandoned) << "abandoned meeting must not run";
   JXP_CHECK(initiator.options_.merge_mode == partner.options_.merge_mode &&
             initiator.options_.combine_mode == partner.options_.combine_mode)
       << "meeting peers must share JXP options";
@@ -131,10 +137,56 @@ MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner) {
   outcome.bytes_sent_initiator = initiator_view.wire_bytes;
   outcome.bytes_sent_partner = partner_view.wire_bytes;
   outcome.wire_bytes = initiator_view.wire_bytes + partner_view.wire_bytes;
-  outcome.cpu_millis_initiator = initiator.ProcessMeeting(partner_view);
-  outcome.pr_iterations_initiator = initiator.last_pr_iterations_;
-  outcome.cpu_millis_partner = partner.ProcessMeeting(initiator_view);
-  outcome.pr_iterations_partner = partner.last_pr_iterations_;
+
+  // Resolve the transport faults of each direction: what (if anything) of
+  // the sender's message reaches the receiver. A truncation so severe that
+  // not even one page arrives degenerates to a drop.
+  PeerView truncated_to_initiator;
+  PeerView truncated_to_partner;
+  const PeerView* message_to_initiator = &partner_view;
+  const PeerView* message_to_partner = &initiator_view;
+  double delivered_to_initiator = faults.drop_to_initiator ? 0.0 : 1.0;
+  double delivered_to_partner = faults.drop_to_partner ? 0.0 : 1.0;
+  if (delivered_to_initiator > 0 && faults.keep_to_initiator < 1.0) {
+    if (TruncateView(partner_view, faults.keep_to_initiator, truncated_to_initiator)) {
+      message_to_initiator = &truncated_to_initiator;
+      delivered_to_initiator = faults.keep_to_initiator;
+    } else {
+      delivered_to_initiator = 0.0;
+    }
+  }
+  if (delivered_to_partner > 0 && faults.keep_to_partner < 1.0) {
+    if (TruncateView(initiator_view, faults.keep_to_partner, truncated_to_partner)) {
+      message_to_partner = &truncated_to_partner;
+      delivered_to_partner = faults.keep_to_partner;
+    } else {
+      delivered_to_partner = 0.0;
+    }
+  }
+
+  // A side applies its incoming message only when something was delivered
+  // and the side did not crash mid-meeting; a suppressed side's state does
+  // not advance at all (no meeting count, no history entry).
+  outcome.applied_initiator = delivered_to_initiator > 0 && !faults.crash_initiator;
+  outcome.applied_partner = delivered_to_partner > 0 && !faults.crash_partner;
+  if (outcome.applied_initiator) {
+    outcome.cpu_millis_initiator = initiator.ProcessMeeting(*message_to_initiator);
+    outcome.pr_iterations_initiator = initiator.last_pr_iterations_;
+  }
+  if (outcome.applied_partner) {
+    outcome.cpu_millis_partner = partner.ProcessMeeting(*message_to_partner);
+    outcome.pr_iterations_partner = partner.last_pr_iterations_;
+  }
+
+  // Wasted-byte accounting, attributed to the sender: everything the sender
+  // shipped beyond what the receiver actually applied.
+  outcome.wasted_bytes_initiator =
+      outcome.bytes_sent_initiator *
+      (1.0 - (outcome.applied_partner ? delivered_to_partner : 0.0));
+  outcome.wasted_bytes_partner =
+      outcome.bytes_sent_partner *
+      (1.0 - (outcome.applied_initiator ? delivered_to_initiator : 0.0));
+  outcome.wasted_bytes = outcome.wasted_bytes_initiator + outcome.wasted_bytes_partner;
 
   if (obs::Enabled()) {
     MeetingMetrics& metrics = GetMeetingMetrics();
@@ -142,6 +194,11 @@ MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner) {
     metrics.wire_bytes.Observe(outcome.wire_bytes);
   }
   if (span.active()) {
+    if (!faults.Clean()) {
+      span.AddAttr("applied_initiator", outcome.applied_initiator);
+      span.AddAttr("applied_partner", outcome.applied_partner);
+      span.AddAttr("wasted_bytes", outcome.wasted_bytes);
+    }
     span.AddAttr("wire_bytes", outcome.wire_bytes);
     span.AddAttr("cpu_ms_initiator", outcome.cpu_millis_initiator);
     span.AddAttr("cpu_ms_partner", outcome.cpu_millis_partner);
@@ -149,6 +206,45 @@ MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner) {
                  outcome.pr_iterations_initiator + outcome.pr_iterations_partner);
   }
   return outcome;
+}
+
+bool JxpPeer::TruncateView(const PeerView& full, double keep_fraction, PeerView& out) {
+  const graph::Subgraph& frag = *full.fragment;
+  const size_t n = frag.NumLocalPages();
+  const size_t k =
+      static_cast<size_t>(keep_fraction * static_cast<double>(n));
+  if (k == 0) return false;
+  if (k >= n) {
+    // Nothing was actually cut; the "truncated" message is the full one.
+    out = full;
+    return true;
+  }
+  // The page table is serialized in local-index order, so the first k
+  // records arrive complete (each with its full successor list).
+  std::vector<graph::PageId> pages;
+  std::vector<std::vector<graph::PageId>> successors;
+  pages.reserve(k);
+  successors.reserve(k);
+  for (graph::Subgraph::LocalIndex i = 0; i < k; ++i) {
+    pages.push_back(frag.GlobalId(i));
+    const auto succ = frag.Successors(i);
+    successors.emplace_back(succ.begin(), succ.end());
+  }
+  auto owned = std::make_shared<graph::Subgraph>(
+      graph::Subgraph::FromKnowledge(std::move(pages), std::move(successors)));
+  out.scores.assign(k, 0.0);
+  for (graph::Subgraph::LocalIndex i = 0; i < k; ++i) {
+    const graph::Subgraph::LocalIndex j = owned->LocalIndexOf(frag.GlobalId(i));
+    JXP_CHECK_NE(j, graph::Subgraph::kNotLocal);
+    out.scores[j] = full.scores[i];
+  }
+  out.fragment = owned.get();
+  out.owned_fragment = std::move(owned);
+  // The world node and page sketch ride at the tail of the message: lost.
+  out.world = WorldNode();
+  out.page_sketch = nullptr;
+  out.wire_bytes = full.wire_bytes * keep_fraction;
+  return true;
 }
 
 JxpPeer::PeerView JxpPeer::MakeView() const {

@@ -4,10 +4,13 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "core/extended_graph.h"
 #include "core/jxp_options.h"
 #include "core/world_node.h"
 #include "graph/subgraph.h"
+#include "p2p/faults.h"
 #include "p2p/network.h"
 #include "synopses/hash_sketch.h"
 
@@ -28,6 +31,16 @@ struct MeetingOutcome {
   /// Power iterations each side's PageRank run needed.
   int pr_iterations_initiator = 0;
   int pr_iterations_partner = 0;
+  /// Whether each side actually applied the partner's message (false when
+  /// its incoming message was dropped or the side crashed mid-meeting).
+  bool applied_initiator = true;
+  bool applied_partner = true;
+  /// Bytes each side sent that produced no state change (fault injection);
+  /// see p2p::FaultStats::wasted_bytes. Zero in a clean meeting.
+  double wasted_bytes_initiator = 0;
+  double wasted_bytes_partner = 0;
+  /// Sum of the two per-side wasted counts.
+  double wasted_bytes = 0;
 };
 
 /// A JXP peer: a local Web fragment, the world node summarizing everything
@@ -65,6 +78,17 @@ class JxpPeer {
   /// procedure and score combination follow the peers' options; both peers
   /// must share the same options.
   static MeetingOutcome Meet(JxpPeer& initiator, JxpPeer& partner);
+
+  /// Meeting under an injected fault schedule (see p2p::FaultPlan): lost
+  /// messages and mid-meeting crashes suppress one side's application
+  /// entirely (that peer's state does not change at all), truncated
+  /// messages deliver only a prefix of the sender's page table (the world
+  /// node, at the message tail, is lost). A default-constructed (clean)
+  /// decision performs exactly Meet(initiator, partner). Stale-resume and
+  /// retry faults are handled by the caller (JxpSimulation) before this
+  /// runs.
+  static MeetingOutcome Meet(JxpPeer& initiator, JxpPeer& partner,
+                             const p2p::MeetingFaultDecision& faults);
 
   /// The peer's network id.
   p2p::PeerId id() const { return id_; }
@@ -151,9 +175,19 @@ class JxpPeer {
     WorldNode world;
     const synopses::HashSketch* page_sketch = nullptr;
     double wire_bytes = 0;
+    /// Storage backing `fragment` for truncated (fault-injected) views; the
+    /// clean path points `fragment` at the sender's own fragment instead.
+    std::shared_ptr<const graph::Subgraph> owned_fragment;
   };
 
   PeerView MakeView() const;
+
+  /// Models a transfer that aborted after `keep_fraction` of the message: a
+  /// view carrying the prefix of the page table that fully arrived, without
+  /// the world node and page sketch (they ride at the message tail).
+  /// Returns false (leaving `out` untouched) when not even one page
+  /// arrived — the truncation then degenerates to a full message drop.
+  static bool TruncateView(const PeerView& full, double keep_fraction, PeerView& out);
 
   /// One side of a meeting: absorb the partner's message, recompute.
   /// Returns CPU milliseconds spent.

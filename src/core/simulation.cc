@@ -1,8 +1,11 @@
 #include "core/simulation.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
+#include "core/state_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -68,6 +71,21 @@ JxpSimulation::JxpSimulation(const graph::Graph& global,
     churn_ = std::make_unique<p2p::ChurnModel>(config_.churn, config_.seed ^ 0xc0ffee);
   }
 
+  // Fault injection (off unless the plan enables a fault). Stale-resume
+  // faults roll peers back to their last checkpoint, so every peer gets an
+  // initial checkpoint up front.
+  if (config_.faults.Enabled()) {
+    injector_ = std::make_unique<p2p::FaultInjector>(config_.faults);
+    if (config_.faults.stale_resume_probability > 0) {
+      JXP_CHECK(!config_.fault_checkpoint_dir.empty())
+          << "stale-resume faults need SimulationConfig::fault_checkpoint_dir";
+      JXP_CHECK_GT(config_.checkpoint_every, 0u);
+      std::filesystem::create_directories(config_.fault_checkpoint_dir);
+      meetings_at_checkpoint_.assign(peers_.size(), 0);
+      for (const JxpPeer& peer : peers_) CheckpointPeer(peer.id());
+    }
+  }
+
   if (config_.monitor_every > 0) {
     next_monitor_at_ = config_.monitor_every;
     RecordConvergencePoint();  // The meetings=0 baseline sample.
@@ -116,7 +134,18 @@ void JxpSimulation::RunMeetings(size_t count) {
     const p2p::PeerId initiator = network_.RandomAlivePeer(rng_, p2p::kInvalidPeer);
     const SelectionResult selection = selector_->SelectPartner(initiator, network_, rng_);
     JXP_CHECK(selection.partner != initiator && network_.IsAlive(selection.partner));
-    MeetingOutcome outcome = JxpPeer::Meet(peers_[initiator], peers_[selection.partner]);
+    p2p::MeetingFaultDecision faults;
+    if (injector_ != nullptr) {
+      faults = injector_->NextMeeting(initiator, selection.partner);
+      AccountProbes(faults, initiator);
+      // An abandoned attempt consumes the schedule slot (the initiator
+      // spent its meeting opportunity on failed contacts) but no meeting
+      // happens and meetings_done_ does not advance.
+      if (faults.abandoned) continue;
+      ApplyStaleResume(faults, initiator, selection.partner);
+    }
+    MeetingOutcome outcome =
+        JxpPeer::Meet(peers_[initiator], peers_[selection.partner], faults);
     const double extra = selector_->AfterMeeting(initiator, selection.partner, network_) +
                          selection.synopsis_bytes;
     // Attribute to each participant the bytes it sent plus half of the
@@ -124,6 +153,11 @@ void JxpSimulation::RunMeetings(size_t count) {
     network_.RecordMeetingTraffic(initiator, outcome.bytes_sent_initiator + extra / 2);
     network_.RecordMeetingTraffic(selection.partner,
                                   outcome.bytes_sent_partner + extra / 2);
+    if (injector_ != nullptr) {
+      AccountWasted(outcome, initiator, selection.partner);
+      MaybeCheckpoint(initiator);
+      MaybeCheckpoint(selection.partner);
+    }
     ++meetings_done_;
     MaybeMonitor();
   }
@@ -136,6 +170,7 @@ void JxpSimulation::RunMeetingsParallel(size_t count) {
   struct PlannedMeeting {
     p2p::PeerId initiator = p2p::kInvalidPeer;
     SelectionResult selection;
+    p2p::MeetingFaultDecision faults;
   };
   std::vector<PlannedMeeting> round;
   std::vector<MeetingOutcome> outcomes;
@@ -161,19 +196,35 @@ void JxpSimulation::RunMeetingsParallel(size_t count) {
       JXP_CHECK(selection.partner != initiator && network_.IsAlive(selection.partner));
       if (used[selection.partner]) continue;  // Greedy matching: drop the pick.
       used[initiator] = used[selection.partner] = 1;
-      round.push_back({initiator, selection});
+      PlannedMeeting planned{initiator, selection, {}};
+      if (injector_ != nullptr) {
+        // Fault schedules are drawn here, at planning time, so the fault
+        // sequence — like the meeting schedule — is consumed on the
+        // scheduling thread and independent of the thread count. Stale
+        // resumes mutate peer state and therefore also apply now, before
+        // the round executes (the pair is disjoint from every other pair).
+        planned.faults = injector_->NextMeeting(initiator, selection.partner);
+        AccountProbes(planned.faults, initiator);
+        if (!planned.faults.abandoned) {
+          ApplyStaleResume(planned.faults, initiator, selection.partner);
+        }
+      }
+      round.push_back(std::move(planned));
     }
     JXP_CHECK(!round.empty());
     // Disjoint pairs share no mutable peer state, so one round's meetings
-    // run concurrently without locks.
+    // run concurrently without locks. Abandoned attempts hold their slot in
+    // the round (the slot was spent on failed contacts) but do not meet.
     outcomes.assign(round.size(), MeetingOutcome{});
     pool_->ParallelFor(0, round.size(), 1, [&](size_t i) {
-      outcomes[i] =
-          JxpPeer::Meet(peers_[round[i].initiator], peers_[round[i].selection.partner]);
+      if (round[i].faults.abandoned) return;
+      outcomes[i] = JxpPeer::Meet(peers_[round[i].initiator],
+                                  peers_[round[i].selection.partner], round[i].faults);
     });
     // Selector bookkeeping and traffic accounting mutate shared state; they
     // run sequentially, in round order.
     for (size_t i = 0; i < round.size(); ++i) {
+      if (round[i].faults.abandoned) continue;
       const double extra =
           selector_->AfterMeeting(round[i].initiator, round[i].selection.partner,
                                   network_) +
@@ -182,6 +233,11 @@ void JxpSimulation::RunMeetingsParallel(size_t count) {
                                     outcomes[i].bytes_sent_initiator + extra / 2);
       network_.RecordMeetingTraffic(round[i].selection.partner,
                                     outcomes[i].bytes_sent_partner + extra / 2);
+      if (injector_ != nullptr) {
+        AccountWasted(outcomes[i], round[i].initiator, round[i].selection.partner);
+        MaybeCheckpoint(round[i].initiator);
+        MaybeCheckpoint(round[i].selection.partner);
+      }
       ++meetings_done_;
     }
     remaining -= round.size();
@@ -195,6 +251,87 @@ void JxpSimulation::RunMeetingsParallel(size_t count) {
 
 AccuracyPoint JxpSimulation::Evaluate() const {
   return EvaluateAccuracy(GlobalJxpScores(), global_top_k_);
+}
+
+std::string JxpSimulation::PeerStatePath(const std::string& dir, p2p::PeerId peer) {
+  return dir + "/peer_" + std::to_string(peer) + ".jxp";
+}
+
+void JxpSimulation::CheckpointPeer(p2p::PeerId peer) {
+  const Status status =
+      SavePeerState(peers_[peer], PeerStatePath(config_.fault_checkpoint_dir, peer));
+  JXP_CHECK(status.ok()) << "checkpoint of peer " << peer
+                         << " failed: " << status.ToString();
+  meetings_at_checkpoint_[peer] = peers_[peer].num_meetings();
+}
+
+void JxpSimulation::MaybeCheckpoint(p2p::PeerId peer) {
+  if (meetings_at_checkpoint_.empty()) return;
+  if (peers_[peer].num_meetings() - meetings_at_checkpoint_[peer] >=
+      config_.checkpoint_every) {
+    CheckpointPeer(peer);
+  }
+}
+
+void JxpSimulation::ApplyStaleResume(const p2p::MeetingFaultDecision& faults,
+                                     p2p::PeerId initiator, p2p::PeerId partner) {
+  if (!faults.stale_resume_initiator && !faults.stale_resume_partner) return;
+  const auto restore = [&](p2p::PeerId peer) {
+    StatusOr<JxpPeer> restored =
+        LoadPeerState(PeerStatePath(config_.fault_checkpoint_dir, peer),
+                      peers_[peer].options());
+    JXP_CHECK(restored.ok()) << "stale resume of peer " << peer
+                             << " failed: " << restored.status().ToString();
+    // The checkpointed fragment is identical to the live one, so selector
+    // caches keyed on fragment content stay valid.
+    peers_[peer] = std::move(restored).value();
+    meetings_at_checkpoint_[peer] = peers_[peer].num_meetings();
+  };
+  if (faults.stale_resume_initiator) restore(initiator);
+  if (faults.stale_resume_partner) restore(partner);
+}
+
+void JxpSimulation::AccountProbes(const p2p::MeetingFaultDecision& faults,
+                                  p2p::PeerId initiator) {
+  if (faults.failed_attempts == 0) return;
+  const double probes =
+      static_cast<double>(faults.failed_attempts) * config_.faults.probe_bytes;
+  if (probes <= 0) return;
+  network_.RecordWastedTraffic(initiator, probes);
+  injector_->RecordWasted(probes);
+}
+
+void JxpSimulation::AccountWasted(const MeetingOutcome& outcome, p2p::PeerId initiator,
+                                  p2p::PeerId partner) {
+  if (outcome.wasted_bytes <= 0) return;
+  network_.RecordWastedTraffic(initiator, outcome.wasted_bytes_initiator);
+  network_.RecordWastedTraffic(partner, outcome.wasted_bytes_partner);
+  injector_->RecordWasted(outcome.wasted_bytes);
+}
+
+Status JxpSimulation::SaveAllPeerStates(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create " + dir + ": " + ec.message());
+  for (const JxpPeer& peer : peers_) {
+    const Status status = SavePeerState(peer, PeerStatePath(dir, peer.id()));
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Status JxpSimulation::LoadAllPeerStates(const std::string& dir) {
+  for (JxpPeer& peer : peers_) {
+    StatusOr<JxpPeer> restored =
+        LoadPeerState(PeerStatePath(dir, peer.id()), peer.options());
+    if (!restored.ok()) return restored.status();
+    JXP_CHECK_EQ(restored.value().id(), peer.id());
+    peer = std::move(restored).value();
+  }
+  if (!meetings_at_checkpoint_.empty()) {
+    for (const JxpPeer& peer : peers_) CheckpointPeer(peer.id());
+  }
+  return Status::OK();
 }
 
 void JxpSimulation::ReplaceFragment(p2p::PeerId peer, std::vector<graph::PageId> pages) {

@@ -2,14 +2,17 @@
 #define JXP_CORE_SIMULATION_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/evaluation.h"
 #include "core/jxp_options.h"
 #include "core/jxp_peer.h"
 #include "core/peer_selection.h"
 #include "p2p/churn.h"
+#include "p2p/faults.h"
 #include "p2p/network.h"
 #include "pagerank/pagerank.h"
 
@@ -58,6 +61,18 @@ struct SimulationConfig {
   /// bit-reproducible across thread counts > 1 but not bit-identical with
   /// the sequential kernel.
   size_t baseline_num_threads = 1;
+  /// Fault-injection plan (all faults off by default). When disabled, no
+  /// FaultInjector is created, no fault randomness is drawn, and the run is
+  /// bit-identical to a build without the fault layer.
+  p2p::FaultPlan faults;
+  /// Directory for the per-peer state_io checkpoints that back the
+  /// stale-resume fault (created if missing). Required — and only used —
+  /// when faults.stale_resume_probability > 0.
+  std::string fault_checkpoint_dir;
+  /// A peer is re-checkpointed every time it has applied this many meetings
+  /// since its last checkpoint (so a stale resume rolls it back by at most
+  /// this many meetings).
+  size_t checkpoint_every = 8;
   /// Convergence monitoring cadence: when > 0, the simulation records a
   /// ConvergencePoint (accuracy vs the centralized baseline, cumulative
   /// traffic, mean world score) at construction and then each time
@@ -143,7 +158,35 @@ class JxpSimulation {
   /// Replaces a peer's fragment (re-crawl), refreshing selector state.
   void ReplaceFragment(p2p::PeerId peer, std::vector<graph::PageId> pages);
 
+  /// Fault accounting of the run so far; nullptr when config.faults is
+  /// disabled.
+  const p2p::FaultStats* fault_stats() const {
+    return injector_ == nullptr ? nullptr : &injector_->stats();
+  }
+
+  /// Persists every peer's state under `dir` (one state_io file per peer,
+  /// named peer_<id>.jxp) / restores every peer from such a directory.
+  /// Fragments round-trip exactly, so selector state stays valid; a
+  /// save + load + continue run is bit-identical to an uninterrupted one.
+  Status SaveAllPeerStates(const std::string& dir) const;
+  Status LoadAllPeerStates(const std::string& dir);
+
  private:
+  /// Path of a peer's stale-resume checkpoint / saved-state file.
+  static std::string PeerStatePath(const std::string& dir, p2p::PeerId peer);
+  /// Writes a peer's stale-resume checkpoint and remembers its meeting count.
+  void CheckpointPeer(p2p::PeerId peer);
+  /// Re-checkpoints a participant that applied >= checkpoint_every meetings
+  /// since its last checkpoint (no-op unless stale resume is configured).
+  void MaybeCheckpoint(p2p::PeerId peer);
+  /// Applies the decision's stale-resume faults: rolls the flagged sides
+  /// back to their last checkpoint before the meeting runs.
+  void ApplyStaleResume(const p2p::MeetingFaultDecision& faults, p2p::PeerId initiator,
+                        p2p::PeerId partner);
+  /// Charges failed-contact probe bytes and (post-meeting) wasted bytes.
+  void AccountProbes(const p2p::MeetingFaultDecision& faults, p2p::PeerId initiator);
+  void AccountWasted(const MeetingOutcome& outcome, p2p::PeerId initiator,
+                     p2p::PeerId partner);
   /// Appends a ConvergencePoint for the current state and emits it as a
   /// "convergence" trace event + gauge updates.
   void RecordConvergencePoint();
@@ -157,6 +200,13 @@ class JxpSimulation {
   std::vector<JxpPeer> peers_;
   std::unique_ptr<PeerSelector> selector_;
   std::unique_ptr<p2p::ChurnModel> churn_;
+  /// Created only when config.faults.Enabled(); all draws happen on the
+  /// scheduling thread (RunMeetingsParallel draws each round's schedules at
+  /// planning time), so fault sequences are thread-count independent.
+  std::unique_ptr<p2p::FaultInjector> injector_;
+  /// Meeting count of each peer at its last stale-resume checkpoint; empty
+  /// unless stale resume is configured.
+  std::vector<size_t> meetings_at_checkpoint_;
   std::unique_ptr<ThreadPool> pool_;  // Lazily created by RunMeetingsParallel.
   std::vector<double> global_scores_;
   std::vector<metrics::ScoredItem> global_top_k_;

@@ -146,6 +146,14 @@ StatusOr<JxpPeer> LoadPeerState(const std::string& path, const JxpOptions& optio
       }
     }
     if (count == 0) return Status::Corruption(path + ": world entry without targets");
+    // Validate before WorldNode::Observe: its invariants are JXP_CHECKs,
+    // and a tampered file must surface as Corruption, not a process abort.
+    if (out_degree == 0) {
+      return Status::Corruption(path + ": world entry with zero out-degree");
+    }
+    if (!(score >= 0)) {
+      return Status::Corruption(path + ": negative world entry score");
+    }
     world.Observe(page, out_degree, score, targets, options.combine_mode);
   }
   size_t num_dangling = 0;
@@ -158,6 +166,9 @@ StatusOr<JxpPeer> LoadPeerState(const std::string& path, const JxpOptions& optio
     if (!(parse >> page >> score)) {
       return Status::Corruption(path + ": bad dangling record");
     }
+    if (!(score >= 0)) {
+      return Status::Corruption(path + ": negative dangling score");
+    }
     world.ObserveDangling(page, score, options.combine_mode);
   }
 
@@ -169,8 +180,15 @@ StatusOr<JxpPeer> LoadPeerState(const std::string& path, const JxpOptions& optio
   }
   // Scores were written in fragment order (sorted by global id), which
   // FromKnowledge preserves.
-  if (world_score <= 0 || world_score >= 1 || global_size < num_pages) {
+  if (!(world_score > 0) || world_score >= 1 || global_size < num_pages) {
     return Status::Corruption(path + ": implausible scalar state");
+  }
+  for (double s : scores) {
+    // JXP scores live in (0, 1): they are entries of a (sub-)stochastic
+    // distribution and the restore constructor assumes a positive score sum.
+    if (!(s > 0) || s >= 1) {
+      return Status::Corruption(path + ": implausible local score");
+    }
   }
   return JxpPeer(peer_id, std::move(fragment), global_size, options, std::move(scores),
                  std::move(world), world_score);

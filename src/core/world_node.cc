@@ -61,8 +61,15 @@ void WorldNode::ScaleScores(double factor) {
 }
 
 double WorldNode::TotalDanglingScore() const {
+  // Summed in page-id order, not map order: the map's iteration order
+  // depends on its insertion history, and this sum feeds the world row, so
+  // a peer restored from a state_io file must accumulate it identically.
+  std::vector<std::pair<graph::PageId, double>> sorted(dangling_scores_.begin(),
+                                                       dangling_scores_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   double total = 0;
-  for (const auto& [page, score] : dangling_scores_) total += score;
+  for (const auto& [page, score] : sorted) total += score;
   return total;
 }
 

@@ -1,0 +1,145 @@
+#include "p2p/faults.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace jxp {
+namespace p2p {
+
+namespace {
+
+/// Fault-path observables (DESIGN.md §6e). All counters are pure functions
+/// of the plan seed and the meeting sequence; wasted_bytes reuses the wire
+/// bucket layout so it is directly comparable to jxp.meeting.wire_bytes.
+struct FaultMetrics {
+  obs::Counter message_drops =
+      obs::MetricsRegistry::Global().GetCounter("jxp.faults.message_drops");
+  obs::Counter truncations =
+      obs::MetricsRegistry::Global().GetCounter("jxp.faults.truncations");
+  obs::Counter crashes = obs::MetricsRegistry::Global().GetCounter("jxp.faults.crashes");
+  obs::Counter stale_resumes =
+      obs::MetricsRegistry::Global().GetCounter("jxp.faults.stale_resumes");
+  obs::Counter retries =
+      obs::MetricsRegistry::Global().GetCounter("jxp.faults.unavailable_retries");
+  obs::Counter abandoned =
+      obs::MetricsRegistry::Global().GetCounter("jxp.faults.meetings_abandoned");
+  obs::Counter faulty_meetings =
+      obs::MetricsRegistry::Global().GetCounter("jxp.faults.faulty_meetings");
+  obs::Histogram wasted_bytes = obs::MetricsRegistry::Global().GetHistogram(
+      "jxp.faults.wasted_bytes", WireByteBuckets());
+  /// Simulated (deterministic) backoff, not wall time — hence no "_ms"
+  /// timing suffix; values are in simulated milliseconds.
+  obs::Histogram backoff_sim = obs::MetricsRegistry::Global().GetHistogram(
+      "jxp.faults.backoff_sim", {10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+};
+
+FaultMetrics& GetFaultMetrics() {
+  static FaultMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), enabled_(plan.Enabled()), rng_(plan.seed) {
+  JXP_CHECK_GE(plan_.max_retries, 0);
+  JXP_CHECK_GT(plan_.truncation_keep_fraction, 0.0);
+  JXP_CHECK_LE(plan_.truncation_keep_fraction, 1.0);
+}
+
+MeetingFaultDecision FaultInjector::NextMeeting(PeerId initiator, PeerId partner) {
+  MeetingFaultDecision decision;
+  ++stats_.meetings_planned;
+  if (!enabled_) return decision;
+
+  // Contact phase: retry with capped exponential backoff until the partner
+  // answers or the retry budget is exhausted.
+  if (plan_.unavailable_probability > 0) {
+    double backoff = plan_.backoff_base_ms;
+    for (int attempt = 0; attempt <= plan_.max_retries; ++attempt) {
+      if (!rng_.NextBool(plan_.unavailable_probability)) break;
+      ++decision.failed_attempts;
+      if (attempt == plan_.max_retries) {
+        decision.abandoned = true;
+        break;
+      }
+      stats_.backoff_sim_ms += backoff;
+      if (obs::Enabled()) GetFaultMetrics().backoff_sim.Observe(backoff);
+      backoff = std::min(backoff * 2, plan_.backoff_cap_ms);
+    }
+  }
+  stats_.unavailable_retries += static_cast<uint64_t>(decision.failed_attempts);
+  if (decision.abandoned) {
+    ++stats_.meetings_abandoned;
+  } else {
+    // Transport and crash phase (only meaningful when the meeting happens).
+    if (plan_.message_drop_probability > 0) {
+      decision.drop_to_partner = rng_.NextBool(plan_.message_drop_probability);
+      decision.drop_to_initiator = rng_.NextBool(plan_.message_drop_probability);
+    }
+    if (plan_.truncation_probability > 0) {
+      if (rng_.NextBool(plan_.truncation_probability)) {
+        decision.keep_to_partner = plan_.truncation_keep_fraction;
+      }
+      if (rng_.NextBool(plan_.truncation_probability)) {
+        decision.keep_to_initiator = plan_.truncation_keep_fraction;
+      }
+    }
+    if (plan_.crash_probability > 0) {
+      decision.crash_initiator = rng_.NextBool(plan_.crash_probability);
+      decision.crash_partner = rng_.NextBool(plan_.crash_probability);
+    }
+    if (plan_.stale_resume_probability > 0) {
+      decision.stale_resume_initiator = rng_.NextBool(plan_.stale_resume_probability);
+      decision.stale_resume_partner = rng_.NextBool(plan_.stale_resume_probability);
+    }
+  }
+
+  const uint64_t drops = static_cast<uint64_t>(decision.drop_to_initiator) +
+                         static_cast<uint64_t>(decision.drop_to_partner);
+  const uint64_t truncations = static_cast<uint64_t>(decision.keep_to_initiator < 1.0) +
+                               static_cast<uint64_t>(decision.keep_to_partner < 1.0);
+  const uint64_t crashes = static_cast<uint64_t>(decision.crash_initiator) +
+                           static_cast<uint64_t>(decision.crash_partner);
+  const uint64_t resumes = static_cast<uint64_t>(decision.stale_resume_initiator) +
+                           static_cast<uint64_t>(decision.stale_resume_partner);
+  stats_.message_drops += drops;
+  stats_.truncations += truncations;
+  stats_.crashes += crashes;
+  stats_.stale_resumes += resumes;
+  if (decision.Clean()) return decision;
+
+  ++stats_.faulty_meetings;
+  if (obs::Enabled()) {
+    FaultMetrics& metrics = GetFaultMetrics();
+    metrics.message_drops.Increment(drops);
+    metrics.truncations.Increment(truncations);
+    metrics.crashes.Increment(crashes);
+    metrics.stale_resumes.Increment(resumes);
+    metrics.retries.Increment(static_cast<uint64_t>(decision.failed_attempts));
+    if (decision.abandoned) metrics.abandoned.Increment();
+    metrics.faulty_meetings.Increment();
+  }
+  obs::EmitEvent("fault", [&](obs::JsonWriter& writer) {
+    writer.Field("initiator", initiator)
+        .Field("partner", partner)
+        .Field("failed_attempts", decision.failed_attempts)
+        .Field("abandoned", decision.abandoned)
+        .Field("drops", drops)
+        .Field("truncations", truncations)
+        .Field("crashes", crashes)
+        .Field("stale_resumes", resumes);
+  });
+  return decision;
+}
+
+void FaultInjector::RecordWasted(double bytes) {
+  if (bytes <= 0) return;
+  stats_.wasted_bytes += bytes;
+  if (obs::Enabled()) GetFaultMetrics().wasted_bytes.Observe(bytes);
+}
+
+}  // namespace p2p
+}  // namespace jxp

@@ -16,6 +16,7 @@ void PeerTrafficSummary::MergeFrom(const PeerTrafficSummary& other) {
   total_bytes += other.total_bytes;
   max_bytes = std::max(max_bytes, other.max_bytes);
   num_meetings += other.num_meetings;
+  wasted_bytes += other.wasted_bytes;
   bytes_per_meeting.MergeFrom(other.bytes_per_meeting);
   mean_bytes = num_meetings > 0 ? total_bytes / static_cast<double>(num_meetings) : 0;
 }
@@ -27,6 +28,7 @@ PeerTrafficSummary PeerTraffic::Summary() const {
     summary.bytes_per_meeting.Observe(bytes);
   }
   summary.total_bytes = total_bytes;
+  summary.wasted_bytes = wasted_bytes;
   summary.num_meetings = bytes_per_meeting.size();
   summary.mean_bytes = summary.num_meetings > 0
                            ? total_bytes / static_cast<double>(summary.num_meetings)
@@ -78,6 +80,12 @@ PeerId Network::RandomAlivePeer(Random& rng, PeerId exclude) const {
 double Network::TotalTrafficBytes() const {
   double total = 0;
   for (const PeerTraffic& t : traffic_) total += t.total_bytes;
+  return total;
+}
+
+double Network::TotalWastedBytes() const {
+  double total = 0;
+  for (const PeerTraffic& t : traffic_) total += t.wasted_bytes;
   return total;
 }
 

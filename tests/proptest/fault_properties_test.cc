@@ -1,0 +1,238 @@
+// Randomized property tests of the JXP theorems under fault injection:
+//   Safety      (Thm 5.3): scores never overestimate the true PageRank, no
+//               matter which faults hit which meetings;
+//   Monotone    (Thm 5.1): under message faults (drops, truncations, crashes,
+//               retries) the world score still never rises — each applied
+//               message is an honest JXP message, each suppressed side
+//               simply keeps its state;
+//   Convergence (Thm 5.4): a fault storm followed by a clean fair meeting
+//               phase still converges to the true PageRank.
+// Each property runs JXP_PROPTEST_CASES randomized cases (default 100);
+// failures print a one-line JXP_PROPTEST_SEED repro.
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/simulation.h"
+#include "core/state_io.h"
+#include "generators.h"
+#include "pagerank/pagerank.h"
+#include "proptest.h"
+
+namespace jxp {
+namespace proptest {
+namespace {
+
+using core::JxpPeer;
+using core::JxpSimulation;
+using core::SimulationConfig;
+
+constexpr double kSafetySlack = 1e-9;
+constexpr double kMonotoneSlack = 1e-9;
+
+SimulationConfig ConfigFor(const FaultCase& c) {
+  SimulationConfig config;
+  config.jxp.pr_tolerance = 1e-14;
+  config.jxp.pr_max_iterations = 1000;
+  config.jxp.merge_mode =
+      c.full_merge ? core::MergeMode::kFullMerge : core::MergeMode::kLightWeight;
+  config.jxp.combine_mode = core::CombineMode::kTakeMax;
+  config.seed = c.seed;
+  config.baseline_tolerance = 1e-14;
+  config.baseline_max_iterations = 2000;
+  config.faults = c.plan;
+  if (c.plan.stale_resume_probability > 0) {
+    config.fault_checkpoint_dir =
+        ::testing::TempDir() + "jxp_faults_" + std::to_string(c.seed);
+    config.checkpoint_every = 4;
+  }
+  return config;
+}
+
+/// pi_w per peer: 1 - sum of the true PageRank over the peer's pages.
+std::vector<double> TrueWorldScores(const JxpSimulation& sim) {
+  std::vector<double> true_world;
+  true_world.reserve(sim.peers().size());
+  for (const JxpPeer& peer : sim.peers()) {
+    double local = 0;
+    for (graph::PageId page : peer.fragment().Pages()) {
+      local += sim.global_scores()[page];
+    }
+    true_world.push_back(1.0 - local);
+  }
+  return true_world;
+}
+
+/// Checks Thm 5.3 for every peer: alpha in (0, pi + slack], world score in
+/// [pi_w - slack, 1).
+CheckResult CheckSafety(const JxpSimulation& sim, const std::vector<double>& true_world,
+                        size_t meeting) {
+  for (const JxpPeer& peer : sim.peers()) {
+    const size_t p = peer.id();
+    if (peer.world_score() < true_world[p] - kSafetySlack || peer.world_score() >= 1.0) {
+      std::ostringstream os;
+      os << "world score " << peer.world_score() << " of peer " << p
+         << " violates [pi_w=" << true_world[p] << ", 1) after meeting " << meeting;
+      return os.str();
+    }
+    const graph::Subgraph& fragment = peer.fragment();
+    for (graph::Subgraph::LocalIndex i = 0; i < fragment.NumLocalPages(); ++i) {
+      const double alpha = peer.local_scores()[i];
+      const double pi = sim.global_scores()[fragment.GlobalId(i)];
+      if (!(alpha > 0) || alpha > pi + kSafetySlack) {
+        std::ostringstream os;
+        os << "page " << fragment.GlobalId(i) << " of peer " << p << " has alpha="
+           << alpha << " vs pi=" << pi << " after meeting " << meeting;
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(FaultProperties, SafetyUnderMixedFaults) {
+  PlanLimits limits;
+  limits.max_drop = 0.3;
+  limits.max_truncation = 0.3;
+  limits.max_crash = 0.2;
+  limits.max_stale_resume = 0.15;
+  limits.max_unavailable = 0.3;
+  ForAll<FaultCase>(
+      0x5afe701, 100, [&](uint64_t seed) { return GenerateFaultCase(seed, limits); },
+      [](const FaultCase& c) -> CheckResult {
+        GeneratedWorld world = BuildWorld(c);
+        JxpSimulation sim(world.graph, std::move(world.fragments), ConfigFor(c));
+        const std::vector<double> true_world = TrueWorldScores(sim);
+        for (size_t m = 0; m < c.num_meetings; ++m) {
+          sim.RunMeetings(1);
+          if (CheckResult failure = CheckSafety(sim, true_world, m)) return failure;
+        }
+        return std::nullopt;
+      });
+}
+
+TEST(FaultProperties, WorldScoreMonotoneUnderMessageFaults) {
+  // Stale resumes legitimately move a world score back up (the peer
+  // re-enters an earlier point of its own monotone trajectory), so this
+  // property draws every fault *except* them.
+  PlanLimits limits;
+  limits.max_drop = 0.4;
+  limits.max_truncation = 0.4;
+  limits.max_crash = 0.3;
+  limits.max_unavailable = 0.4;
+  ForAll<FaultCase>(
+      0x30007001, 100, [&](uint64_t seed) { return GenerateFaultCase(seed, limits); },
+      [](const FaultCase& c) -> CheckResult {
+        FaultCase lw = c;
+        lw.full_merge = false;  // Thm 5.1 covers the light-weight merge.
+        GeneratedWorld world = BuildWorld(lw);
+        JxpSimulation sim(world.graph, std::move(world.fragments), ConfigFor(lw));
+        std::vector<double> prev;
+        prev.reserve(sim.peers().size());
+        for (const JxpPeer& peer : sim.peers()) prev.push_back(peer.world_score());
+        for (size_t m = 0; m < lw.num_meetings; ++m) {
+          sim.RunMeetings(1);
+          for (const JxpPeer& peer : sim.peers()) {
+            if (peer.world_score() > prev[peer.id()] + kMonotoneSlack) {
+              std::ostringstream os;
+              os << "world score of peer " << peer.id() << " rose " << prev[peer.id()]
+                 << " -> " << peer.world_score() << " at meeting " << m;
+              return os.str();
+            }
+            prev[peer.id()] = peer.world_score();
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+TEST(FaultProperties, ConvergesAfterFaultStorm) {
+  // Peer-level driver: a storm phase where every meeting runs under an
+  // injected fault schedule, then a clean fair phase; Thm 5.4 still applies
+  // because every reachable state is a safe JXP state.
+  PlanLimits limits;
+  limits.max_drop = 0.5;
+  limits.max_truncation = 0.5;
+  limits.max_crash = 0.4;
+  limits.max_unavailable = 0.5;
+  ForAll<FaultCase>(
+      0xc0471013, 100, [&](uint64_t seed) { return GenerateFaultCase(seed, limits); },
+      [](const FaultCase& c) -> CheckResult {
+        GeneratedWorld world = BuildWorld(c);
+        core::JxpOptions options;
+        options.pr_tolerance = 1e-14;
+        options.pr_max_iterations = 1000;
+        options.merge_mode = c.full_merge ? core::MergeMode::kFullMerge
+                                          : core::MergeMode::kLightWeight;
+
+        pagerank::PageRankOptions pr_options;
+        pr_options.damping = options.damping;
+        pr_options.tolerance = 1e-14;
+        pr_options.max_iterations = 2000;
+        const pagerank::PageRankResult baseline =
+            ComputePageRank(world.graph, pr_options);
+        if (!baseline.converged) return "centralized baseline did not converge";
+
+        std::vector<JxpPeer> peers;
+        peers.reserve(c.num_peers);
+        for (size_t p = 0; p < c.num_peers; ++p) {
+          peers.emplace_back(static_cast<p2p::PeerId>(p),
+                             graph::Subgraph::Induce(world.graph, world.fragments[p]),
+                             world.graph.NumNodes(), options);
+        }
+
+        // Storm phase: random pairs, every meeting under a drawn schedule.
+        Random rng(c.seed ^ 0x5701c4);
+        p2p::FaultInjector injector(c.plan);
+        for (size_t m = 0; m < c.num_meetings; ++m) {
+          const size_t a = rng.NextBounded(c.num_peers);
+          size_t b = rng.NextBounded(c.num_peers - 1);
+          if (b >= a) ++b;
+          const p2p::MeetingFaultDecision faults = injector.NextMeeting(
+              static_cast<p2p::PeerId>(a), static_cast<p2p::PeerId>(b));
+          if (faults.abandoned) continue;
+          JxpPeer::Meet(peers[a], peers[b], faults);
+        }
+
+        // Clean phase: the theorem-test fair schedule.
+        const size_t clean_meetings = 150 * c.num_peers;
+        for (size_t m = 0; m < clean_meetings; ++m) {
+          const size_t a = rng.NextBounded(c.num_peers);
+          size_t b = rng.NextBounded(c.num_peers - 1);
+          if (b >= a) ++b;
+          JxpPeer::Meet(peers[a], peers[b]);
+        }
+
+        for (const JxpPeer& peer : peers) {
+          const graph::Subgraph& fragment = peer.fragment();
+          double local = 0;
+          for (graph::Subgraph::LocalIndex i = 0; i < fragment.NumLocalPages(); ++i) {
+            const double diff = std::abs(peer.local_scores()[i] -
+                                         baseline.scores[fragment.GlobalId(i)]);
+            if (diff > 1e-4) {
+              std::ostringstream os;
+              os << "peer " << peer.id() << " page " << fragment.GlobalId(i)
+                 << " off by " << diff << " after recovery";
+              return os.str();
+            }
+            local += baseline.scores[fragment.GlobalId(i)];
+          }
+          if (std::abs(peer.world_score() - (1.0 - local)) > 1e-3) {
+            std::ostringstream os;
+            os << "peer " << peer.id() << " world score " << peer.world_score()
+               << " vs pi_w " << (1.0 - local) << " after recovery";
+            return os.str();
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+}  // namespace
+}  // namespace proptest
+}  // namespace jxp

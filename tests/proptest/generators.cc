@@ -1,0 +1,111 @@
+#include "generators.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/random.h"
+
+namespace jxp {
+namespace proptest {
+
+std::string FaultCase::Describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " nodes=" << num_nodes << " peers=" << num_peers
+     << " meetings=" << num_meetings << " merge=" << (full_merge ? "full" : "light")
+     << " drop=" << plan.message_drop_probability
+     << " trunc=" << plan.truncation_probability << "@" << plan.truncation_keep_fraction
+     << " crash=" << plan.crash_probability
+     << " stale=" << plan.stale_resume_probability
+     << " unavail=" << plan.unavailable_probability << " retries=" << plan.max_retries
+     << " fault_seed=" << plan.seed;
+  return os.str();
+}
+
+std::vector<FaultCase> FaultCase::Shrink() const {
+  std::vector<FaultCase> candidates;
+  const auto with = [this](auto mutate) {
+    FaultCase c = *this;
+    mutate(c);
+    return c;
+  };
+  if (num_nodes > 16) {
+    candidates.push_back(with([](FaultCase& c) {
+      c.num_nodes = std::max<size_t>(16, c.num_nodes / 2);
+    }));
+  }
+  if (num_peers > 2) {
+    candidates.push_back(with([](FaultCase& c) {
+      c.num_peers = std::max<size_t>(2, c.num_peers / 2);
+    }));
+  }
+  if (num_meetings > 10) {
+    candidates.push_back(with([](FaultCase& c) {
+      c.num_meetings = std::max<size_t>(10, c.num_meetings / 2);
+    }));
+  }
+  if (full_merge) {
+    candidates.push_back(with([](FaultCase& c) { c.full_merge = false; }));
+  }
+  if (plan.message_drop_probability > 0) {
+    candidates.push_back(with([](FaultCase& c) { c.plan.message_drop_probability = 0; }));
+  }
+  if (plan.truncation_probability > 0) {
+    candidates.push_back(with([](FaultCase& c) { c.plan.truncation_probability = 0; }));
+  }
+  if (plan.crash_probability > 0) {
+    candidates.push_back(with([](FaultCase& c) { c.plan.crash_probability = 0; }));
+  }
+  if (plan.stale_resume_probability > 0) {
+    candidates.push_back(with([](FaultCase& c) { c.plan.stale_resume_probability = 0; }));
+  }
+  if (plan.unavailable_probability > 0) {
+    candidates.push_back(with([](FaultCase& c) { c.plan.unavailable_probability = 0; }));
+  }
+  return candidates;
+}
+
+FaultCase GenerateFaultCase(uint64_t seed, const PlanLimits& limits) {
+  FaultCase c;
+  c.seed = seed;
+  Random rng(seed ^ 0x5eedf001cafeULL);
+  c.num_nodes = 16 + rng.NextBounded(41);      // 16..56
+  c.num_peers = 2 + rng.NextBounded(4);        // 2..5
+  c.num_meetings = 30 + rng.NextBounded(91);   // 30..120
+  c.full_merge = rng.NextBool(0.25);
+  c.plan.message_drop_probability = limits.max_drop * rng.NextDouble();
+  c.plan.truncation_probability = limits.max_truncation * rng.NextDouble();
+  c.plan.truncation_keep_fraction = 0.2 + 0.8 * rng.NextDouble();
+  c.plan.crash_probability = limits.max_crash * rng.NextDouble();
+  c.plan.stale_resume_probability = limits.max_stale_resume * rng.NextDouble();
+  c.plan.unavailable_probability = limits.max_unavailable * rng.NextDouble();
+  c.plan.max_retries = static_cast<int>(rng.NextBounded(4));  // 0..3
+  c.plan.seed = SplitMix64(seed ^ 0xfa0175ULL).Next();
+  return c;
+}
+
+GeneratedWorld BuildWorld(const FaultCase& c) {
+  GeneratedWorld world;
+  Random rng(c.seed ^ 0x6e57a9b1ULL);
+  world.graph = graph::BarabasiAlbert(c.num_nodes, 3, rng);
+  // Overlapping fragments that jointly cover the graph (the theorem-test
+  // idiom): every page goes to one random peer, then up to two extra
+  // replicas land on random peers with probability 1/2 each.
+  world.fragments.assign(c.num_peers, {});
+  for (graph::PageId p = 0; p < c.num_nodes; ++p) {
+    world.fragments[rng.NextBounded(c.num_peers)].push_back(p);
+    for (int extra = 0; extra < 2; ++extra) {
+      if (rng.NextBool(0.5)) {
+        world.fragments[rng.NextBounded(c.num_peers)].push_back(p);
+      }
+    }
+  }
+  for (auto& fragment : world.fragments) {
+    if (fragment.empty()) {
+      fragment.push_back(static_cast<graph::PageId>(rng.NextBounded(c.num_nodes)));
+    }
+  }
+  return world;
+}
+
+}  // namespace proptest
+}  // namespace jxp

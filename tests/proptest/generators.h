@@ -1,0 +1,62 @@
+#ifndef JXP_TESTS_PROPTEST_GENERATORS_H_
+#define JXP_TESTS_PROPTEST_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "p2p/faults.h"
+
+namespace jxp {
+namespace proptest {
+
+/// Upper bounds for the per-case fault-probability draws; a scenario zeroes
+/// the bounds of the faults it must exclude (e.g. the monotone-world-score
+/// property excludes stale resumes, which legitimately move a world score
+/// back up).
+struct PlanLimits {
+  double max_drop = 0;
+  double max_truncation = 0;
+  double max_crash = 0;
+  double max_stale_resume = 0;
+  double max_unavailable = 0;
+};
+
+/// One randomized test case: the world's size parameters plus a fault plan.
+/// Everything heavy (graph, fragments, schedules) is derived from `seed` as
+/// a pure function, so a case is reproducible from its parameters alone.
+struct FaultCase {
+  uint64_t seed = 0;
+  size_t num_nodes = 40;
+  size_t num_peers = 3;
+  size_t num_meetings = 80;
+  bool full_merge = false;
+  p2p::FaultPlan plan;
+
+  std::string Describe() const;
+
+  /// Shrink candidates: halved sizes and individually-disabled faults, each
+  /// keeping the same seed so the candidate stays fully reproducible.
+  std::vector<FaultCase> Shrink() const;
+};
+
+/// Draws a random case under `limits`: 16-56 nodes, 2-5 peers, 30-120
+/// meetings, and each fault probability uniform in [0, limit].
+FaultCase GenerateFaultCase(uint64_t seed, const PlanLimits& limits);
+
+/// The case's world: a Barabási-Albert graph and overlapping random
+/// fragments that jointly cover it (every page is assigned to at least one
+/// peer; none is empty).
+struct GeneratedWorld {
+  graph::Graph graph;
+  std::vector<std::vector<graph::PageId>> fragments;
+};
+
+GeneratedWorld BuildWorld(const FaultCase& c);
+
+}  // namespace proptest
+}  // namespace jxp
+
+#endif  // JXP_TESTS_PROPTEST_GENERATORS_H_

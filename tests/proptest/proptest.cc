@@ -1,0 +1,44 @@
+#include "proptest.h"
+
+#include <cstdlib>
+
+#include "common/random.h"
+
+namespace jxp {
+namespace proptest {
+
+namespace {
+
+/// Parses a non-negative decimal environment variable; nullopt when unset
+/// or unparseable.
+std::optional<uint64_t> EnvUint64(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return std::nullopt;
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace
+
+uint64_t MasterSeed(uint64_t default_seed) {
+  return EnvUint64("JXP_PROPTEST_SEED").value_or(default_seed);
+}
+
+size_t NumCases(size_t default_cases) {
+  const std::optional<uint64_t> cases = EnvUint64("JXP_PROPTEST_CASES");
+  if (!cases.has_value() || *cases == 0) return default_cases;
+  return static_cast<size_t>(*cases);
+}
+
+uint64_t CaseSeed(uint64_t master, size_t index) {
+  if (index == 0) return master;
+  // SplitMix64 over master + index keeps distinct cases decorrelated while
+  // CaseSeed(s, 0) == s makes the printed repro environment exact.
+  SplitMix64 mixer(master + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(index));
+  return mixer.Next();
+}
+
+}  // namespace proptest
+}  // namespace jxp

@@ -1,0 +1,93 @@
+#ifndef JXP_TESTS_PROPTEST_PROPTEST_H_
+#define JXP_TESTS_PROPTEST_PROPTEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace jxp {
+namespace proptest {
+
+/// Minimal property-testing harness: generate N randomized cases from a
+/// master seed, check a property on each, and on failure greedily shrink the
+/// case to a smaller counterexample while printing a one-line repro seed.
+///
+/// Determinism contract: a case is a small parameter struct (sizes, seeds,
+/// probabilities) and everything heavy — graph, fragments, fault schedule —
+/// is derived from it as a pure function, so re-running with the printed
+/// `JXP_PROPTEST_SEED=<seed> JXP_PROPTEST_CASES=1` environment reproduces
+/// the failing case exactly.
+///
+/// Environment overrides:
+///   JXP_PROPTEST_SEED   master seed (decimal); default is per-property.
+///   JXP_PROPTEST_CASES  number of randomized cases per property.
+
+/// The master seed: JXP_PROPTEST_SEED when set and parseable, else
+/// `default_seed`.
+uint64_t MasterSeed(uint64_t default_seed);
+
+/// The case count: JXP_PROPTEST_CASES when set and parseable (> 0), else
+/// `default_cases`.
+size_t NumCases(size_t default_cases);
+
+/// Seed of case `index` under `master`. Identity at index 0, so the printed
+/// repro line (seed of the failing case, 1 case) replays exactly that case.
+uint64_t CaseSeed(uint64_t master, size_t index);
+
+/// A property check's verdict: nullopt = holds, otherwise a description of
+/// the violation.
+using CheckResult = std::optional<std::string>;
+
+/// Runs the property `check` over `NumCases(default_cases)` cases generated
+/// by `make(CaseSeed(master, i))`. On the first failing case, shrinks it via
+/// Case::Shrink() (greedy descent, at most `max_shrink_evals` re-checks) and
+/// reports both the original and the shrunk counterexample through
+/// ADD_FAILURE, including the one-line repro environment.
+///
+/// Case requirements:
+///   std::string Describe() const;
+///   std::vector<Case> Shrink() const;   // candidate smaller cases
+template <typename Case, typename MakeFn, typename CheckFn>
+void ForAll(uint64_t default_seed, size_t default_cases, MakeFn make, CheckFn check,
+            size_t max_shrink_evals = 64) {
+  const uint64_t master = MasterSeed(default_seed);
+  const size_t cases = NumCases(default_cases);
+  for (size_t i = 0; i < cases; ++i) {
+    const uint64_t seed = CaseSeed(master, i);
+    const Case original = make(seed);
+    CheckResult failure = check(original);
+    if (!failure.has_value()) continue;
+
+    Case smallest = original;
+    std::string smallest_failure = *failure;
+    size_t evals = 0;
+    bool improved = true;
+    while (improved && evals < max_shrink_evals) {
+      improved = false;
+      for (const Case& candidate : smallest.Shrink()) {
+        if (evals >= max_shrink_evals) break;
+        ++evals;
+        if (CheckResult f = check(candidate); f.has_value()) {
+          smallest = candidate;
+          smallest_failure = *f;
+          improved = true;
+          break;  // Restart shrinking from the smaller counterexample.
+        }
+      }
+    }
+    ADD_FAILURE() << "property failed on case " << i << "/" << cases
+                  << "\n  repro: JXP_PROPTEST_SEED=" << seed << " JXP_PROPTEST_CASES=1"
+                  << "\n  case:   " << original.Describe() << "\n    " << *failure
+                  << "\n  shrunk (" << evals
+                  << " evals): " << smallest.Describe() << "\n    " << smallest_failure;
+    return;  // One counterexample per property run.
+  }
+}
+
+}  // namespace proptest
+}  // namespace jxp
+
+#endif  // JXP_TESTS_PROPTEST_PROPTEST_H_
