@@ -84,6 +84,8 @@ BenchConfig BenchConfig::FromFlags(int argc, char** argv) {
       flags.GetInt("eval-every", static_cast<int64_t>(config.eval_every)));
   config.top_k =
       static_cast<size_t>(flags.GetInt("topk", static_cast<int64_t>(config.top_k)));
+  config.queries =
+      static_cast<size_t>(flags.GetInt("queries", static_cast<int64_t>(config.queries)));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int64_t>(config.seed)));
   config.metrics_out = flags.GetString("metrics_out", config.metrics_out);
   config.metrics_out = flags.GetString("metrics-out", config.metrics_out);

@@ -27,6 +27,8 @@ struct BenchConfig {
   size_t eval_every = 100;
   /// Top-k compared (paper: 1000; Figure 9 uses 10000).
   size_t top_k = 1000;
+  /// Query batch size of the query-serving benches (--queries=N).
+  size_t queries = 200;
   uint64_t seed = 7;
   /// Telemetry output: when non-empty, a JSON-lines trace sink is installed
   /// at this path (spans, events, and — at exit — a metrics snapshot).

@@ -1,0 +1,186 @@
+// Query-serving throughput over the compressed index: queries/second,
+// postings decoded, and compressed bytes per posting for the exhaustive,
+// threshold-algorithm, and MaxScore processors at 1/2/4/8 worker threads,
+// in the Section 6.3 Minerva peer layout. One JSON line per sweep point.
+//
+// Two sweeps: pure tf*idf (prior weight 0), and the paper's fused ranking
+// 0.6*tf*idf + 0.4*authority with the static prior folded into the block
+// upper bounds (the TA arm runs uncompressed and supports only the pure
+// tf*idf sweep). Results are bit-identical across processors and thread
+// counts — only the timings change — and the bench aborts if MaxScore
+// fails to decode strictly fewer postings than the exhaustive oracle.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+#include "pagerank/pagerank.h"
+#include "qp/serving.h"
+
+namespace jxp {
+namespace bench {
+
+namespace {
+
+/// Blocks small enough that typical per-peer posting lists span several of
+/// them; with the default 128-entry blocks, a few-hundred-document peer
+/// fits whole lists into one block and block-max skipping never engages.
+constexpr size_t kBenchBlockSize = 64;
+
+struct SweepTotals {
+  size_t postings_decoded = 0;
+  size_t blocks_decoded = 0;
+  size_t blocks_skipped = 0;
+  size_t candidates_scored = 0;
+  size_t docs_pruned = 0;
+  size_t ta_sorted = 0;
+  size_t ta_random = 0;
+};
+
+}  // namespace
+
+void Run(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  const datasets::Collection collection = MakeCollection("webcrawl", config);
+  PrintHeader("micro: query-serving throughput over the compressed index",
+              collection, config);
+
+  // Section 6.3 peer layout: 4 fragments per category, each peer hosting 3.
+  Random rng(config.seed);
+  const auto fragments = crawler::FragmentSplitPartition(collection.data, 4, 3, rng);
+  const search::Corpus corpus = search::Corpus::Generate(
+      collection.data, search::CorpusOptions(), config.seed ^ 0xc0de);
+  std::vector<std::unique_ptr<search::PeerIndex>> indexes;
+  for (size_t p = 0; p < fragments.size(); ++p) {
+    auto index = std::make_unique<search::PeerIndex>(static_cast<p2p::PeerId>(p));
+    for (graph::PageId page : fragments[p]) index->AddDocument(corpus.DocumentFor(page));
+    indexes.push_back(std::move(index));
+  }
+
+  // Static authority prior: exact PageRank stands in for a converged JXP
+  // estimate (the serving path treats either as an opaque per-page prior).
+  const auto truth =
+      pagerank::ComputePageRank(collection.data.graph, pagerank::PageRankOptions());
+  std::unordered_map<graph::PageId, double> prior;
+  for (graph::PageId p = 0; p < collection.data.graph.NumNodes(); ++p) {
+    prior[p] = truth.scores[p];
+  }
+
+  std::vector<qp::ServedQuery> queries;
+  Random qrng(config.seed + 1);
+  for (size_t i = 0; i < config.queries; ++i) {
+    qp::ServedQuery query;
+    query.terms = corpus.SampleQueryTerms(
+        static_cast<graph::CategoryId>(i % collection.data.num_categories),
+        2 + i % 2, qrng);
+    queries.push_back(std::move(query));
+  }
+
+  std::printf("sweep\tprocessor\tthreads\tqps\tpostings_decoded\tbytes_per_posting\n");
+  struct Sweep {
+    const char* name;
+    double prior_weight;
+  };
+  for (const Sweep sweep : {Sweep{"tfidf", 0.0}, Sweep{"fused", 0.4}}) {
+    // Per-sweep decode totals, keyed by processor; thread-count invariant
+    // by construction, so the self-check below compares any thread count.
+    SweepTotals exhaustive_totals;
+    SweepTotals maxscore_totals;
+    for (const qp::ProcessorKind processor :
+         {qp::ProcessorKind::kExhaustive, qp::ProcessorKind::kThresholdAlgorithm,
+          qp::ProcessorKind::kMaxScore}) {
+      // TA runs over the uncompressed index and has no prior support.
+      if (sweep.prior_weight != 0.0 &&
+          processor == qp::ProcessorKind::kThresholdAlgorithm) {
+        continue;
+      }
+      for (const size_t threads : {1u, 2u, 4u, 8u}) {
+        qp::ServingOptions options;
+        options.processor = processor;
+        options.k = 10;
+        options.num_threads = threads;
+        qp::QueryServer server(&corpus, options);
+        qp::CompressedIndexOptions copts;
+        copts.block_size = kBenchBlockSize;
+        copts.prior_weight = sweep.prior_weight;
+        for (const auto& index : indexes) {
+          server.AddPeer(index.get(),
+                         sweep.prior_weight == 0.0
+                             ? std::unordered_map<graph::PageId, double>{}
+                             : prior,
+                         copts);
+        }
+
+        WallTimer wall;
+        const std::vector<qp::ServedResult> results = server.ServeBatch(queries);
+        const double wall_s = wall.ElapsedSeconds();
+
+        SweepTotals totals;
+        for (const qp::ServedResult& result : results) {
+          totals.postings_decoded += result.stats.decode.postings_decoded;
+          totals.blocks_decoded += result.stats.decode.blocks_decoded;
+          totals.blocks_skipped += result.stats.decode.blocks_skipped;
+          totals.candidates_scored += result.stats.candidates_scored;
+          totals.docs_pruned += result.stats.docs_pruned;
+          totals.ta_sorted += result.ta_sorted_accesses;
+          totals.ta_random += result.ta_random_accesses;
+        }
+        if (processor == qp::ProcessorKind::kExhaustive) exhaustive_totals = totals;
+        if (processor == qp::ProcessorKind::kMaxScore) maxscore_totals = totals;
+
+        const double qps =
+            wall_s > 0 ? static_cast<double>(queries.size()) / wall_s : 0.0;
+        const double bytes_per_posting =
+            server.index_stats().CompressedBytesPerPosting();
+        const auto fill = [&](obs::JsonWriter& writer) {
+          writer.Field("bench", "query_throughput")
+              .Field("sweep", sweep.name)
+              .Field("processor", qp::ProcessorName(processor))
+              .Field("threads", threads)
+              .Field("queries", queries.size())
+              .Field("k", options.k)
+              .Field("peers", indexes.size())
+              .Field("wall_seconds", wall_s)
+              .Field("qps", qps)
+              .Field("postings_decoded", totals.postings_decoded)
+              .Field("blocks_decoded", totals.blocks_decoded)
+              .Field("blocks_skipped", totals.blocks_skipped)
+              .Field("candidates_scored", totals.candidates_scored)
+              .Field("docs_pruned", totals.docs_pruned)
+              .Field("ta_sorted_accesses", totals.ta_sorted)
+              .Field("ta_random_accesses", totals.ta_random)
+              .Field("bytes_per_posting", bytes_per_posting);
+        };
+        obs::JsonWriter line;
+        fill(line);
+        std::printf("%s\n", line.TakeLine().c_str());
+        std::fflush(stdout);
+        obs::EmitEvent("bench_result", fill);
+
+        // Self-checks: compression must beat the 8-byte uncompressed
+        // posting, and dynamic pruning must actually prune.
+        JXP_CHECK_LT(bytes_per_posting,
+                     qp::CompressedIndexStats::kUncompressedBytesPerPosting);
+        if (processor == qp::ProcessorKind::kMaxScore) {
+          JXP_CHECK_LT(maxscore_totals.postings_decoded,
+                       exhaustive_totals.postings_decoded)
+              << "MaxScore failed to prune in sweep " << sweep.name << " at "
+              << threads << " threads";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace jxp
+
+int main(int argc, char** argv) {
+  jxp::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,189 @@
+#include "qp/block_posting_list.h"
+
+#include <cmath>
+#include <limits>
+
+namespace jxp {
+namespace qp {
+
+void VByteEncode(uint32_t value, std::vector<uint8_t>& out) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<uint8_t>((value & 0x7fu) | 0x80u));
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+uint32_t VByteDecode(const uint8_t* data, size_t& offset) {
+  uint32_t value = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t byte = data[offset++];
+    value |= static_cast<uint32_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) return value;
+    shift += 7;
+  }
+}
+
+float UpperBoundAsFloat(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) < v) {
+    f = std::nextafter(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+BlockPostingList BlockPostingList::Build(std::span<const PostingIn> postings,
+                                         size_t block_size) {
+  JXP_CHECK_GT(block_size, 0u);
+  BlockPostingList list;
+  list.num_postings_ = postings.size();
+  if (postings.empty()) return list;
+
+  list.blocks_.reserve((postings.size() + block_size - 1) / block_size);
+  for (size_t begin = 0; begin < postings.size(); begin += block_size) {
+    const size_t end = std::min(begin + block_size, postings.size());
+    BlockMeta meta;
+    meta.count = static_cast<uint32_t>(end - begin);
+    meta.docid_begin = static_cast<uint32_t>(list.bytes_.size());
+    double max_impact = 0;
+    double max_prior = 0;
+    uint32_t prev = list.BaseDocid(list.blocks_.size());
+    for (size_t i = begin; i < end; ++i) {
+      const PostingIn& posting = postings[i];
+      JXP_CHECK_LT(posting.docid, kEndDocid);
+      JXP_CHECK_GE(posting.tf, 1u);
+      // Strictly increasing docids; the first posting of the whole list may
+      // have docid 0 (delta from the implicit base 0).
+      if (i > 0) {
+        JXP_CHECK_LT(postings[i - 1].docid, posting.docid);
+      }
+      VByteEncode(posting.docid - prev, list.bytes_);
+      prev = posting.docid;
+      max_impact = std::max(max_impact, posting.impact);
+      max_prior = std::max(max_prior, posting.prior);
+    }
+    meta.last_docid = prev;
+    meta.freq_begin = static_cast<uint32_t>(list.bytes_.size());
+    for (size_t i = begin; i < end; ++i) VByteEncode(postings[i].tf, list.bytes_);
+    meta.max_impact = UpperBoundAsFloat(max_impact);
+    meta.max_prior = UpperBoundAsFloat(max_prior);
+    list.max_impact_ = std::max(list.max_impact_, meta.max_impact);
+    list.max_prior_ = std::max(list.max_prior_, meta.max_prior);
+    list.docid_bytes_ += meta.freq_begin - meta.docid_begin;
+    list.blocks_.push_back(meta);
+  }
+  return list;
+}
+
+void BlockPostingList::Cursor::DecodeDocids() {
+  const BlockMeta& meta = list_->blocks_[block_];
+  docids_.resize(meta.count);
+  size_t offset = meta.docid_begin;
+  uint32_t prev = list_->BaseDocid(block_);
+  for (uint32_t i = 0; i < meta.count; ++i) {
+    prev += VByteDecode(list_->bytes_.data(), offset);
+    docids_[i] = prev;
+  }
+  docids_decoded_ = true;
+  freqs_decoded_ = false;
+  pos_ = 0;
+  if (stats_ != nullptr) {
+    ++stats_->blocks_decoded;
+    stats_->postings_decoded += meta.count;
+  }
+}
+
+uint32_t BlockPostingList::Cursor::freq() {
+  JXP_CHECK(started_ && docid_ != kEndDocid);
+  if (!freqs_decoded_) {
+    const BlockMeta& meta = list_->blocks_[block_];
+    freqs_.resize(meta.count);
+    size_t offset = meta.freq_begin;
+    for (uint32_t i = 0; i < meta.count; ++i) {
+      freqs_[i] = VByteDecode(list_->bytes_.data(), offset);
+    }
+    freqs_decoded_ = true;
+    if (stats_ != nullptr) stats_->freqs_decoded += meta.count;
+  }
+  return freqs_[pos_];
+}
+
+void BlockPostingList::Cursor::Next() {
+  started_ = true;
+  // Exhaustion is tracked by the block pointer (docid_ alone is ambiguous:
+  // it is also kEndDocid on a fresh cursor and after a shallow SeekBlock).
+  if (block_ >= list_->blocks_.size()) {
+    docid_ = kEndDocid;
+    return;
+  }
+  if (!docids_decoded_) {
+    // First call, or a SeekBlock moved the block pointer without decoding:
+    // position at the first posting of the current block.
+    DecodeDocids();
+    docid_ = docids_[pos_];
+    return;
+  }
+  if (pos_ + 1 < docids_.size()) {
+    ++pos_;
+    docid_ = docids_[pos_];
+    return;
+  }
+  ++block_;
+  docids_decoded_ = false;
+  if (block_ >= list_->blocks_.size()) {
+    docid_ = kEndDocid;
+    return;
+  }
+  DecodeDocids();
+  docid_ = docids_[pos_];
+}
+
+bool BlockPostingList::Cursor::NextGEQ(uint32_t target) {
+  started_ = true;
+  if (docid_ != kEndDocid && docids_decoded_ && docid_ >= target) return true;
+  // Skip whole blocks on metadata alone.
+  bool moved = false;
+  while (block_ < list_->blocks_.size() &&
+         list_->blocks_[block_].last_docid < target) {
+    if (stats_ != nullptr && !docids_decoded_) ++stats_->blocks_skipped;
+    ++block_;
+    docids_decoded_ = false;
+    moved = true;
+  }
+  if (block_ >= list_->blocks_.size()) {
+    docid_ = kEndDocid;
+    return false;
+  }
+  const size_t search_from = (!moved && docids_decoded_) ? pos_ : 0;
+  if (!docids_decoded_) DecodeDocids();
+  const auto it =
+      std::lower_bound(docids_.begin() + static_cast<ptrdiff_t>(search_from),
+                       docids_.end(), target);
+  JXP_CHECK(it != docids_.end());  // Guaranteed by last_docid >= target.
+  pos_ = static_cast<size_t>(it - docids_.begin());
+  docid_ = docids_[pos_];
+  return true;
+}
+
+bool BlockPostingList::Cursor::SeekBlock(uint32_t target, float* block_max_impact,
+                                         float* block_max_prior) {
+  started_ = true;
+  while (block_ < list_->blocks_.size() &&
+         list_->blocks_[block_].last_docid < target) {
+    if (stats_ != nullptr && !docids_decoded_) ++stats_->blocks_skipped;
+    ++block_;
+    docids_decoded_ = false;
+  }
+  if (block_ >= list_->blocks_.size()) {
+    docid_ = kEndDocid;
+    return false;
+  }
+  const BlockMeta& meta = list_->blocks_[block_];
+  *block_max_impact = meta.max_impact;
+  *block_max_prior = meta.max_prior;
+  return true;
+}
+
+}  // namespace qp
+}  // namespace jxp

@@ -1,0 +1,234 @@
+#include "qp/query_processor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace jxp {
+namespace qp {
+
+namespace {
+
+/// Multiplicative inflation applied to every upper bound before it is
+/// compared against the current k-th score. Exact per-term impacts are
+/// doubles summed in descending-bound order during pruning but in query-term
+/// order during final scoring; the two orders can round differently, so a
+/// raw partial sum is not a strict bound of the canonical sum. Inflating by
+/// 1 + 1e-12 (orders of magnitude above the worst-case reassociation error
+/// of the few dozen terms a query has) restores "bound >= canonical score",
+/// making pruning provably lossless while costing next to nothing in
+/// selectivity.
+constexpr double kBoundSlack = 1.0 + 1e-12;
+
+/// Exact impact of the cursor's current posting, the same expression (and
+/// the same double arithmetic) as MinervaEngine::TfIdfScore.
+double Impact(BlockPostingList::Cursor& cursor, double idf) {
+  return (1.0 + std::log(static_cast<double>(cursor.freq()))) * idf;
+}
+
+bool BetterPair(const std::pair<double, graph::PageId>& a,
+                const std::pair<double, graph::PageId>& b) {
+  return BetterResult(a.first, a.second, b.first, b.second);
+}
+
+TopKList FinishRanked(std::vector<std::pair<double, graph::PageId>> ranked, size_t k) {
+  const size_t keep = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<ptrdiff_t>(keep),
+                    ranked.end(), BetterPair);
+  TopKList out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.emplace_back(ranked[i].second, ranked[i].first);
+  return out;
+}
+
+}  // namespace
+
+TopKList ExhaustiveTopK(const CompressedPeerIndex& index,
+                        std::span<const search::TermId> query, size_t k,
+                        QueryStats* stats) {
+  JXP_CHECK_GT(k, 0u);
+  QueryStats local;
+  QueryStats* s = stats != nullptr ? stats : &local;
+  const double w = index.prior_weight();
+
+  // Term-at-a-time: the outer loop follows query-term order, so every
+  // document's accumulator receives its contributions in exactly the order
+  // MinervaEngine::TfIdfScore sums them — the accumulated doubles are
+  // bit-identical.
+  std::unordered_map<graph::PageId, double> tfidf;
+  for (search::TermId term : query) {
+    const CompressedPeerIndex::TermList* entry = index.ListFor(term);
+    if (entry == nullptr) continue;
+    BlockPostingList::Cursor cursor = entry->list.OpenCursor(&s->decode);
+    for (cursor.Next(); cursor.docid() != BlockPostingList::kEndDocid; cursor.Next()) {
+      tfidf[cursor.docid()] += Impact(cursor, entry->idf);
+    }
+  }
+  s->candidates_scored += tfidf.size();
+
+  std::vector<std::pair<double, graph::PageId>> ranked;
+  ranked.reserve(tfidf.size());
+  for (const auto& [page, text_score] : tfidf) {
+    const double score =
+        w == 0.0 ? text_score : (1.0 - w) * text_score + w * index.PriorOf(page);
+    ranked.emplace_back(score, page);
+  }
+  return FinishRanked(std::move(ranked), k);
+}
+
+TopKList MaxScoreTopK(const CompressedPeerIndex& index,
+                      std::span<const search::TermId> query, size_t k,
+                      QueryStats* stats) {
+  JXP_CHECK_GT(k, 0u);
+  QueryStats local;
+  QueryStats* s = stats != nullptr ? stats : &local;
+  const double w = index.prior_weight();
+
+  struct ListCursor {
+    size_t query_pos;
+    const CompressedPeerIndex::TermList* entry;
+    BlockPostingList::Cursor cursor;
+    double ub;  // Quantized list-level impact upper bound, widened.
+  };
+  std::vector<ListCursor> lists;
+  lists.reserve(query.size());
+  for (size_t qi = 0; qi < query.size(); ++qi) {
+    const CompressedPeerIndex::TermList* entry = index.ListFor(query[qi]);
+    if (entry == nullptr || entry->list.num_postings() == 0) continue;
+    lists.push_back(ListCursor{qi, entry, entry->list.OpenCursor(&s->decode),
+                               static_cast<double>(entry->list.max_impact())});
+  }
+  if (lists.empty()) return {};
+
+  // MaxScore order: ascending upper bound, with a deterministic tie-break so
+  // the traversal (and thus the decode counters) never depends on input
+  // ordering quirks.
+  std::sort(lists.begin(), lists.end(), [](const ListCursor& a, const ListCursor& b) {
+    if (a.ub != b.ub) return a.ub < b.ub;
+    if (a.entry->term != b.entry->term) return a.entry->term < b.entry->term;
+    return a.query_pos < b.query_pos;
+  });
+  const size_t n = lists.size();
+  std::vector<double> prefix_ub(n);
+  double running = 0;
+  for (size_t i = 0; i < n; ++i) {
+    running += lists[i].ub;
+    prefix_ub[i] = running;
+  }
+  const double prior_ub = w == 0.0 ? 0.0 : static_cast<double>(index.max_prior_bound());
+
+  // Canonical-order view for the final rescore of surviving candidates.
+  std::vector<ListCursor*> by_query(n);
+  for (size_t i = 0; i < n; ++i) by_query[i] = &lists[i];
+  std::sort(by_query.begin(), by_query.end(),
+            [](const ListCursor* a, const ListCursor* b) { return a->query_pos < b->query_pos; });
+
+  for (ListCursor& lc : lists) lc.cursor.Next();
+
+  // Min-heap under BetterResult: front is the current k-th (worst) result.
+  std::vector<std::pair<double, graph::PageId>> heap;
+  heap.reserve(k);
+  double theta = -std::numeric_limits<double>::infinity();
+  // lists[0..essential) are non-essential: their combined upper bound cannot
+  // beat theta, so no document found *only* there can enter the top-k.
+  size_t essential = 0;
+  const auto raise_essential = [&] {
+    while (essential < n &&
+           kBoundSlack * ((1.0 - w) * prefix_ub[essential] + w * prior_ub) <= theta) {
+      ++essential;
+    }
+  };
+
+  while (essential < n) {
+    // Candidate: smallest docid on any essential list.
+    uint32_t d = BlockPostingList::kEndDocid;
+    for (size_t i = essential; i < n; ++i) d = std::min(d, lists[i].cursor.docid());
+    if (d == BlockPostingList::kEndDocid) break;
+
+    // Exact partial score from the essential lists. Each matching cursor
+    // sits inside a decoded block that contains d, so that block's quantized
+    // max_prior bounds this document's static prior — the per-block prior
+    // quantization replacing a random access during pruning.
+    double partial = 0;
+    double prior_bound_d = prior_ub;
+    for (size_t i = essential; i < n; ++i) {
+      if (lists[i].cursor.docid() != d) continue;
+      partial += Impact(lists[i].cursor, lists[i].entry->idf);
+      if (w != 0.0) {
+        float block_impact = 0;
+        float block_prior = 0;
+        if (lists[i].cursor.SeekBlock(d, &block_impact, &block_prior)) {
+          prior_bound_d = std::min(prior_bound_d, static_cast<double>(block_prior));
+        }
+      }
+    }
+
+    // Descend through the non-essential lists, tightest budget first. Each
+    // step first checks the list-level bound, then — via a shallow seek that
+    // touches only block metadata — the block-level bound, and only decodes
+    // when the document is still alive.
+    bool pruned = false;
+    for (size_t i = essential; i-- > 0;) {
+      if (kBoundSlack * ((1.0 - w) * (partial + prefix_ub[i]) + w * prior_bound_d) <=
+          theta) {
+        pruned = true;
+        break;
+      }
+      float block_impact = 0;
+      float block_prior = 0;
+      if (!lists[i].cursor.SeekBlock(d, &block_impact, &block_prior)) continue;
+      const double head = i > 0 ? prefix_ub[i - 1] : 0.0;
+      if (kBoundSlack * ((1.0 - w) *
+                             (partial + head + static_cast<double>(block_impact)) +
+                         w * prior_bound_d) <= theta) {
+        pruned = true;
+        break;
+      }
+      if (lists[i].cursor.NextGEQ(d) && lists[i].cursor.docid() == d) {
+        partial += Impact(lists[i].cursor, lists[i].entry->idf);
+      }
+    }
+
+    if (pruned) {
+      ++s->docs_pruned;
+    } else {
+      // Survivor: every live cursor now sits at docid >= d (== d exactly
+      // when the document contains the term), so re-aggregate in original
+      // query-term order for the canonical, engine-identical double.
+      double exact = 0;
+      for (ListCursor* lc : by_query) {
+        if (lc->cursor.docid() == d) exact += Impact(lc->cursor, lc->entry->idf);
+      }
+      const double score = w == 0.0 ? exact : (1.0 - w) * exact + w * index.PriorOf(d);
+      ++s->candidates_scored;
+      if (heap.size() < k) {
+        heap.emplace_back(score, d);
+        std::push_heap(heap.begin(), heap.end(), BetterPair);
+        if (heap.size() == k) {
+          theta = heap.front().first;
+          raise_essential();
+        }
+      } else if (BetterResult(score, d, heap.front().first, heap.front().second)) {
+        std::pop_heap(heap.begin(), heap.end(), BetterPair);
+        heap.back() = {score, d};
+        std::push_heap(heap.begin(), heap.end(), BetterPair);
+        theta = heap.front().first;
+        raise_essential();
+      }
+    }
+
+    for (size_t i = essential; i < n; ++i) {
+      if (lists[i].cursor.docid() == d) lists[i].cursor.Next();
+    }
+  }
+
+  std::sort(heap.begin(), heap.end(), BetterPair);
+  TopKList out;
+  out.reserve(heap.size());
+  for (const auto& [score, page] : heap) out.emplace_back(page, score);
+  return out;
+}
+
+}  // namespace qp
+}  // namespace jxp

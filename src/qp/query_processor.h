@@ -1,0 +1,73 @@
+#ifndef JXP_QP_QUERY_PROCESSOR_H_
+#define JXP_QP_QUERY_PROCESSOR_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "qp/compressed_index.h"
+
+namespace jxp {
+namespace qp {
+
+/// Work counters of one top-k evaluation. Pure functions of (index, query,
+/// k) — independent of timing and thread count — so aggregating them into
+/// `jxp.qp.*` metrics keeps snapshots bit-identical at any parallelism.
+struct QueryStats {
+  DecodeStats decode;
+  /// Documents fully scored (all query terms aggregated in canonical order).
+  size_t candidates_scored = 0;
+  /// Documents ruled out by an upper-bound check before full scoring
+  /// (always 0 for the exhaustive processor).
+  size_t docs_pruned = 0;
+
+  void MergeFrom(const QueryStats& other) {
+    decode.MergeFrom(other.decode);
+    candidates_scored += other.candidates_scored;
+    docs_pruned += other.docs_pruned;
+  }
+};
+
+/// The documented result order: fused score descending, page id ascending on
+/// ties. Every processor (and MinervaEngine's per-peer retrieval) breaks
+/// ties this way, which is what makes top-k results well-defined when
+/// distinct documents score bit-identically.
+inline bool BetterResult(double score_a, graph::PageId page_a, double score_b,
+                         graph::PageId page_b) {
+  if (score_a != score_b) return score_a > score_b;
+  return page_a < page_b;
+}
+
+/// (page, fused score) pairs, best first under BetterResult, at most k.
+using TopKList = std::vector<std::pair<graph::PageId, double>>;
+
+/// Correctness oracle: term-at-a-time exhaustive evaluation over the
+/// compressed lists. Every posting of every query term is decoded; each
+/// candidate's tf*idf is accumulated in query-term order (bit-identical to
+/// MinervaEngine::TfIdfScore) and fused with the static prior when the index
+/// was frozen with prior_weight > 0:
+///   score(d) = (1 - w) * tfidf(d) + w * prior(d)   [w == 0 => plain tfidf].
+/// `stats` is optional.
+TopKList ExhaustiveTopK(const CompressedPeerIndex& index,
+                        std::span<const search::TermId> query, size_t k,
+                        QueryStats* stats);
+
+/// Fast path: document-at-a-time MaxScore with block-max skipping. Lists are
+/// split into essential and non-essential by their quantized score upper
+/// bounds; candidates come only from essential lists, and non-essential
+/// lists are probed cheapest-bound-first with a shallow SeekBlock (block
+/// metadata only) before any decompression. All pruning compares upper
+/// bounds inflated by a tiny slack against the current k-th score, so a
+/// document is only discarded when it provably cannot enter the top-k;
+/// survivors are re-scored in canonical query-term order. The returned list
+/// is therefore bit-identical to ExhaustiveTopK — same pages, same scores —
+/// while decoding strictly less (postings are only materialized when a
+/// block's upper bound keeps the document alive).
+TopKList MaxScoreTopK(const CompressedPeerIndex& index,
+                      std::span<const search::TermId> query, size_t k,
+                      QueryStats* stats);
+
+}  // namespace qp
+}  // namespace jxp
+
+#endif  // JXP_QP_QUERY_PROCESSOR_H_

@@ -1,0 +1,142 @@
+#include "qp/serving.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "obs/trace.h"
+#include "search/threshold_top_k.h"
+
+namespace jxp {
+namespace qp {
+
+namespace {
+
+/// Fixed ParallelFor grain: block boundaries must not depend on the thread
+/// count, or per-worker metric shards would partition differently (still
+/// deterministic after merging, but keep scheduling canonical anyway).
+constexpr size_t kServeGrain = 1;
+
+}  // namespace
+
+const char* ProcessorName(ProcessorKind kind) {
+  switch (kind) {
+    case ProcessorKind::kExhaustive:
+      return "exhaustive";
+    case ProcessorKind::kThresholdAlgorithm:
+      return "ta";
+    case ProcessorKind::kMaxScore:
+      return "maxscore";
+  }
+  return "unknown";
+}
+
+QueryServer::QueryServer(const search::Corpus* corpus, const ServingOptions& options)
+    : corpus_(corpus), options_(options) {
+  JXP_CHECK(corpus_ != nullptr);
+  JXP_CHECK_GT(options_.k, 0u);
+  pool_ = std::make_unique<ThreadPool>(std::max<size_t>(options_.num_threads, 1));
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  queries_total_ = registry.GetCounter("jxp.qp.queries");
+  postings_decoded_ = registry.GetCounter("jxp.qp.postings_decoded");
+  freqs_decoded_ = registry.GetCounter("jxp.qp.freqs_decoded");
+  blocks_decoded_ = registry.GetCounter("jxp.qp.blocks_decoded");
+  blocks_skipped_ = registry.GetCounter("jxp.qp.blocks_skipped");
+  candidates_scored_ = registry.GetCounter("jxp.qp.candidates_scored");
+  docs_pruned_ = registry.GetCounter("jxp.qp.docs_pruned");
+  ta_sorted_accesses_ = registry.GetCounter("jxp.qp.ta_sorted_accesses");
+  ta_random_accesses_ = registry.GetCounter("jxp.qp.ta_random_accesses");
+  postings_decoded_per_query_ = registry.GetHistogram(
+      "jxp.qp.postings_decoded_per_query",
+      {0, 8, 32, 128, 512, 2048, 8192, 32768, 131072});
+  results_per_query_ =
+      registry.GetHistogram("jxp.qp.results_per_query", {0, 1, 2, 5, 10, 20, 50, 100});
+  query_latency_ms_ = registry.GetHistogram(
+      "jxp.qp.query_latency_ms", {0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500});
+}
+
+void QueryServer::AddPeer(const search::PeerIndex* index,
+                          const std::unordered_map<graph::PageId, double>& jxp_scores,
+                          const CompressedIndexOptions& copts) {
+  JXP_CHECK(index != nullptr);
+  peer_indexes_.push_back(index);
+  compressed_.push_back(CompressedPeerIndex::Freeze(*index, *corpus_, jxp_scores, copts));
+  index_stats_.MergeFrom(compressed_.back().stats());
+  if (copts.prior_weight != 0.0) priors_disabled_ = false;
+}
+
+void QueryServer::ServeOne(const ServedQuery& query, ServedResult& out) {
+  WallTimer timer;
+  // Per-peer top-k, merged with replica deduplication: a page hosted by
+  // several peers scores bit-identically on each (the score is a pure
+  // function of corpus statistics, the query, and the prior table), so any
+  // copy stands for all of them — the same dedup MinervaEngine applies.
+  std::unordered_map<graph::PageId, double> best;
+  for (size_t p = 0; p < compressed_.size(); ++p) {
+    TopKList local;
+    switch (options_.processor) {
+      case ProcessorKind::kExhaustive:
+        local = ExhaustiveTopK(compressed_[p], query.terms, options_.k, &out.stats);
+        break;
+      case ProcessorKind::kMaxScore:
+        local = MaxScoreTopK(compressed_[p], query.terms, options_.k, &out.stats);
+        break;
+      case ProcessorKind::kThresholdAlgorithm: {
+        const search::ThresholdTopKResult ta = search::ThresholdTopK(
+            *peer_indexes_[p], *corpus_, query.terms, options_.k);
+        local = ta.results;
+        out.ta_sorted_accesses += ta.sorted_accesses;
+        out.ta_random_accesses += ta.random_accesses;
+        break;
+      }
+    }
+    for (const auto& [page, score] : local) best[page] = score;
+  }
+  std::vector<std::pair<double, graph::PageId>> ranked;
+  ranked.reserve(best.size());
+  for (const auto& [page, score] : best) ranked.emplace_back(score, page);
+  const size_t keep = std::min(options_.k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<ptrdiff_t>(keep),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      return BetterResult(a.first, a.second, b.first, b.second);
+                    });
+  out.results.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.results.emplace_back(ranked[i].second, ranked[i].first);
+
+  queries_total_.Increment();
+  postings_decoded_.Increment(out.stats.decode.postings_decoded);
+  freqs_decoded_.Increment(out.stats.decode.freqs_decoded);
+  blocks_decoded_.Increment(out.stats.decode.blocks_decoded);
+  blocks_skipped_.Increment(out.stats.decode.blocks_skipped);
+  candidates_scored_.Increment(out.stats.candidates_scored);
+  docs_pruned_.Increment(out.stats.docs_pruned);
+  ta_sorted_accesses_.Increment(out.ta_sorted_accesses);
+  ta_random_accesses_.Increment(out.ta_random_accesses);
+  postings_decoded_per_query_.Observe(
+      static_cast<double>(out.stats.decode.postings_decoded));
+  results_per_query_.Observe(static_cast<double>(out.results.size()));
+  query_latency_ms_.Observe(timer.ElapsedMillis());
+}
+
+std::vector<ServedResult> QueryServer::ServeBatch(std::span<const ServedQuery> queries) {
+  if (options_.processor == ProcessorKind::kThresholdAlgorithm) {
+    // TA ranks by pure tf*idf; a nonzero prior weight would change the
+    // target ranking out from under it.
+    JXP_CHECK(priors_disabled_) << "TA serving requires prior_weight == 0";
+  }
+  obs::TraceSpan span("qp.serve_batch");
+  if (span.active()) {
+    span.AddAttr("processor", ProcessorName(options_.processor));
+    span.AddAttr("num_queries", queries.size());
+    span.AddAttr("num_peers", compressed_.size());
+    span.AddAttr("threads", pool_->num_threads());
+    span.AddAttr("k", options_.k);
+  }
+  std::vector<ServedResult> results(queries.size());
+  pool_->ParallelFor(0, queries.size(), kServeGrain,
+                     [&](size_t i) { ServeOne(queries[i], results[i]); });
+  return results;
+}
+
+}  // namespace qp
+}  // namespace jxp

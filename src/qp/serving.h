@@ -1,0 +1,119 @@
+#ifndef JXP_QP_SERVING_H_
+#define JXP_QP_SERVING_H_
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "qp/query_processor.h"
+
+namespace jxp {
+namespace search {
+class PeerIndex;
+}  // namespace search
+
+namespace qp {
+
+/// Which per-peer top-k processor a QueryServer runs.
+enum class ProcessorKind {
+  /// Term-at-a-time over compressed lists, every posting decoded (oracle).
+  kExhaustive,
+  /// Fagin's Threshold Algorithm over the uncompressed PeerIndex
+  /// (search/threshold_top_k.h); only valid when every frozen index has
+  /// prior_weight == 0, since TA ranks by pure tf*idf.
+  kThresholdAlgorithm,
+  /// MaxScore with block-max skipping over compressed lists (fast path).
+  kMaxScore,
+};
+
+/// Stable lowercase label for JSON output and metrics attributes.
+const char* ProcessorName(ProcessorKind kind);
+
+struct ServingOptions {
+  ProcessorKind processor = ProcessorKind::kMaxScore;
+  /// Results kept per query (after merging across peers).
+  size_t k = 10;
+  /// ParallelFor width for ServeBatch. Results and all non-timing metrics
+  /// are bit-identical at any value, including 1.
+  size_t num_threads = 1;
+};
+
+/// One query of a batch.
+struct ServedQuery {
+  std::vector<search::TermId> terms;
+};
+
+/// One query's outcome.
+struct ServedResult {
+  /// Top-k merged across all peers (replicas deduplicated by page), best
+  /// first under BetterResult.
+  TopKList results;
+  /// Work counters aggregated over the peers (compressed processors only).
+  QueryStats stats;
+  /// Threshold-Algorithm accounting (kThresholdAlgorithm only).
+  size_t ta_sorted_accesses = 0;
+  size_t ta_random_accesses = 0;
+};
+
+/// A batched query-serving driver: holds every peer's frozen compressed
+/// index (plus a borrowed view of the mutable index for the TA arm) and
+/// evaluates query streams across the deterministic thread pool. Each query
+/// runs its processor against every registered peer and merges the per-peer
+/// top-k lists; queries are statically partitioned over workers, per-query
+/// work is a pure function of (indexes, query, k), and work counters flow
+/// into `jxp.qp.*` metrics through thread-local shards — so results and
+/// non-timing metric snapshots are bit-identical at any thread count.
+class QueryServer {
+ public:
+  /// `corpus` must outlive the server (used by the TA arm and for df stats).
+  QueryServer(const search::Corpus* corpus, const ServingOptions& options);
+
+  /// Registers one peer: borrows `index` (must outlive the server) for the
+  /// TA arm and freezes it into the compressed layout for the compressed
+  /// arms. Not concurrency-safe against ServeBatch.
+  void AddPeer(const search::PeerIndex* index,
+               const std::unordered_map<graph::PageId, double>& jxp_scores,
+               const CompressedIndexOptions& copts);
+
+  /// Serves `queries`, one ServedResult per query, in input order.
+  std::vector<ServedResult> ServeBatch(std::span<const ServedQuery> queries);
+
+  size_t num_peers() const { return compressed_.size(); }
+  const CompressedPeerIndex& compressed(size_t i) const { return compressed_[i]; }
+  /// Compressed-size stats aggregated over every frozen peer.
+  const CompressedIndexStats& index_stats() const { return index_stats_; }
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  void ServeOne(const ServedQuery& query, ServedResult& out);
+
+  const search::Corpus* corpus_;
+  ServingOptions options_;
+  std::vector<const search::PeerIndex*> peer_indexes_;
+  std::vector<CompressedPeerIndex> compressed_;
+  CompressedIndexStats index_stats_;
+  /// True while every frozen peer has prior_weight == 0 (TA precondition).
+  bool priors_disabled_ = true;
+  std::unique_ptr<ThreadPool> pool_;
+
+  obs::Counter queries_total_;
+  obs::Counter postings_decoded_;
+  obs::Counter freqs_decoded_;
+  obs::Counter blocks_decoded_;
+  obs::Counter blocks_skipped_;
+  obs::Counter candidates_scored_;
+  obs::Counter docs_pruned_;
+  obs::Counter ta_sorted_accesses_;
+  obs::Counter ta_random_accesses_;
+  obs::Histogram postings_decoded_per_query_;
+  obs::Histogram results_per_query_;
+  obs::Histogram query_latency_ms_;
+};
+
+}  // namespace qp
+}  // namespace jxp
+
+#endif  // JXP_QP_SERVING_H_

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "qp/compressed_index.h"
 #include "search/directory.h"
 #include "search/index.h"
 
@@ -36,6 +37,13 @@ struct SearchOptions {
   /// (false) or run Fagin's Threshold Algorithm with early termination
   /// (true). The result lists are identical; TA touches fewer postings.
   bool use_threshold_algorithm = false;
+  /// Serve per-peer retrieval from block-compressed posting lists with
+  /// MaxScore dynamic pruning (src/qp/) instead of the uncompressed index.
+  /// Peers added under this option are additionally frozen into the
+  /// compressed layout at AddPeer time. Results are bit-identical to the
+  /// exhaustive path; only the work per query changes. Takes precedence
+  /// over use_threshold_algorithm.
+  bool use_compressed_index = false;
 };
 
 /// One merged search result with its component scores.
@@ -102,6 +110,9 @@ class MinervaEngine {
   const Corpus* corpus_;
   SearchOptions options_;
   std::vector<PeerIndex> indexes_;
+  /// Frozen compressed twin of indexes_[i] (same position), populated only
+  /// when options_.use_compressed_index is set.
+  std::vector<qp::CompressedPeerIndex> compressed_;
 };
 
 /// Extracts the top-k page ids from results re-sorted by pure tf*idf.

@@ -1,11 +1,26 @@
 #include "search/index.h"
 
+#include <algorithm>
+
 namespace jxp {
 namespace search {
 
 void PeerIndex::AddDocument(const Document& doc) {
   for (const auto& [term, tf] : doc.terms) {
-    postings_[term].push_back({doc.page, tf});
+    std::vector<Posting>& list = postings_[term];
+    // Maintain the sorted-by-page invariant (see the class comment). Pages
+    // are usually added in ascending order, so the common case is a plain
+    // append; out-of-order additions insert at the right spot.
+    if (list.empty() || list.back().page < doc.page) {
+      list.push_back({doc.page, tf});
+    } else {
+      const auto it = std::lower_bound(
+          list.begin(), list.end(), doc.page,
+          [](const Posting& p, graph::PageId page) { return p.page < page; });
+      JXP_CHECK(it == list.end() || it->page != doc.page)
+          << "document " << doc.page << " indexed twice";
+      list.insert(it, {doc.page, tf});
+    }
   }
   ++num_documents_;
 }

@@ -19,14 +19,22 @@ struct Posting {
 /// A peer's local inverted index over the documents of its crawled pages
 /// (each Minerva peer is "a full-fledged search engine with its own crawler,
 /// indexer, and query processor").
+///
+/// Invariant: every posting list is sorted by ascending page id, maintained
+/// at AddDocument time. Downstream consumers depend on it: the compressed
+/// builder (qp::CompressedPeerIndex::Freeze) requires strictly increasing
+/// docids for delta encoding, and deterministic traversal orders in the
+/// threshold algorithm and the engine follow from it.
 class PeerIndex {
  public:
   explicit PeerIndex(p2p::PeerId owner) : owner_(owner) {}
 
-  /// Indexes one document.
+  /// Indexes one document, keeping each touched posting list sorted by page
+  /// id. A page must be added at most once per index.
   void AddDocument(const Document& doc);
 
-  /// Postings of a term, or nullptr if the peer has none.
+  /// Postings of a term, sorted by ascending page id, or nullptr if the
+  /// peer has none.
   const std::vector<Posting>* PostingsFor(TermId term) const {
     const auto it = postings_.find(term);
     return it == postings_.end() ? nullptr : &it->second;

@@ -56,9 +56,15 @@ ThresholdTopKResult ThresholdTopK(const PeerIndex& index, const Corpus& corpus,
   }
   if (lists.empty()) return out;
 
-  // Top-k bookkeeping: smallest of the current top-k at the front.
-  std::vector<std::pair<double, graph::PageId>> top;  // Min-heap by score.
-  const auto heap_greater = std::greater<>();
+  // Top-k bookkeeping: the worst of the current top-k at the front, under
+  // the documented total order (score descending, page ascending on ties) —
+  // the same tie-break as the final sort, so which of two tied-score pages
+  // survives eviction never depends on posting traversal order.
+  std::vector<std::pair<double, graph::PageId>> top;
+  const auto heap_better = [](const std::pair<double, graph::PageId>& a,
+                              const std::pair<double, graph::PageId>& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  };
   std::unordered_set<graph::PageId> seen;
 
   bool exhausted = false;
@@ -73,25 +79,30 @@ ThresholdTopKResult ThresholdTopK(const PeerIndex& index, const Corpus& corpus,
       ++out.sorted_accesses;
       threshold += score;
       if (seen.insert(page).second) {
-        // Random accesses: full aggregated score across all query terms.
+        // One random access per newly seen document (Fagin-style
+        // accounting): the probe fetches the document once and aggregates
+        // all query terms from it.
+        ++out.random_accesses;
         double full = 0;
         const Document& doc = corpus.DocumentFor(page);
         for (const SortedList& other : lists) {
           full += TermScore(doc, other.term, other.idf);
-          ++out.random_accesses;
         }
         if (top.size() < k) {
           top.emplace_back(full, page);
-          std::push_heap(top.begin(), top.end(), heap_greater);
-        } else if (full > top.front().first) {
-          std::pop_heap(top.begin(), top.end(), heap_greater);
+          std::push_heap(top.begin(), top.end(), heap_better);
+        } else if (heap_better({full, page}, top.front())) {
+          std::pop_heap(top.begin(), top.end(), heap_better);
           top.back() = {full, page};
-          std::push_heap(top.begin(), top.end(), heap_greater);
+          std::push_heap(top.begin(), top.end(), heap_better);
         }
       }
     }
-    // TA stopping rule: no unseen document can beat the current k-th score.
-    if (!exhausted && top.size() == k && top.front().first >= threshold) {
+    // TA stopping rule: no unseen document can beat the current k-th
+    // result. Strictly greater, not >=: an unseen document could still
+    // reach exactly `threshold`, and with a smaller page id it would win
+    // the tie against the current k-th under the documented tie-break.
+    if (!exhausted && top.size() == k && top.front().first > threshold) {
       out.early_terminated = true;
       break;
     }

@@ -17,7 +17,8 @@ struct ThresholdTopKResult {
   std::vector<std::pair<graph::PageId, double>> results;
   /// Sorted accesses performed (posting entries read in score order).
   size_t sorted_accesses = 0;
-  /// Random accesses performed (full-score probes of candidate pages).
+  /// Random accesses performed: one per newly seen document (each probe
+  /// fetches the document once and aggregates every query term from it).
   size_t random_accesses = 0;
   /// True when the algorithm stopped before exhausting the posting lists.
   bool early_terminated = false;
@@ -27,8 +28,11 @@ struct ThresholdTopKResult {
 /// exact top-k documents by aggregated tf*idf without scoring every
 /// candidate. Posting lists are walked in descending per-term score order
 /// (sorted access); each newly seen page is fully scored (random access);
-/// the scan stops as soon as the k-th best full score reaches the threshold
-/// (the aggregated score an unseen document could still achieve).
+/// the scan stops as soon as the k-th best full score strictly exceeds the
+/// threshold (the aggregated score an unseen document could still achieve —
+/// at exactly the threshold, an unseen page could still win the page-id
+/// tie-break). Ties are broken (score desc, page asc), the same total
+/// order as the engine's final sort.
 ///
 /// This is the query-processing style Minerva-class P2P engines use to keep
 /// per-peer work sublinear in the posting-list lengths; the result list is

@@ -1,0 +1,190 @@
+#include "qp/serving.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "obs/trace.h"
+#include "search/index.h"
+
+namespace jxp {
+namespace qp {
+namespace {
+
+struct ServingFixture {
+  ServingFixture() {
+    Random rng(71);
+    graph::WebGraphParams params;
+    params.num_nodes = 900;
+    params.num_categories = 3;
+    collection = graph::GenerateWebGraph(params, rng);
+    search::CorpusOptions coptions;
+    coptions.vocabulary_size = 3000;
+    coptions.category_vocab_size = 400;
+    corpus = search::Corpus::Generate(collection, coptions, 72);
+    // Three peers, each holding a third of the pages plus a band of
+    // replicas overlapping the next peer (exercises cross-peer dedup).
+    for (p2p::PeerId peer = 0; peer < 3; ++peer) {
+      auto index = std::make_unique<search::PeerIndex>(peer);
+      const graph::PageId begin = peer * 300;
+      const graph::PageId end = begin + 350;  // 50 replicated pages.
+      for (graph::PageId p = begin; p < end && p < 900; ++p) {
+        index->AddDocument(corpus.DocumentFor(p));
+      }
+      if (peer == 2) {
+        for (graph::PageId p = 0; p < 50; ++p) index->AddDocument(corpus.DocumentFor(p));
+      }
+      indexes.push_back(std::move(index));
+    }
+    Random qrng(73);
+    for (int i = 0; i < 24; ++i) {
+      ServedQuery query;
+      query.terms = corpus.SampleQueryTerms(static_cast<graph::CategoryId>(i % 3),
+                                            2 + i % 2, qrng);
+      queries.push_back(std::move(query));
+    }
+  }
+
+  std::unique_ptr<QueryServer> MakeServer(ProcessorKind processor, size_t threads,
+                                          double prior_weight = 0.0,
+                                          size_t block_size = 128) const {
+    ServingOptions options;
+    options.processor = processor;
+    options.k = 10;
+    options.num_threads = threads;
+    auto server = std::make_unique<QueryServer>(&corpus, options);
+    CompressedIndexOptions copts;
+    copts.prior_weight = prior_weight;
+    copts.block_size = block_size;
+    for (const auto& index : indexes) {
+      server->AddPeer(index.get(), jxp_scores, copts);
+    }
+    return server;
+  }
+
+  graph::CategorizedGraph collection;
+  search::Corpus corpus;
+  std::vector<std::unique_ptr<search::PeerIndex>> indexes;
+  std::unordered_map<graph::PageId, double> jxp_scores;
+  std::vector<ServedQuery> queries;
+};
+
+void ExpectSameResults(const std::vector<ServedResult>& a,
+                       const std::vector<ServedResult>& b, const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].results.size(), b[q].results.size()) << label << " query " << q;
+    for (size_t i = 0; i < a[q].results.size(); ++i) {
+      EXPECT_EQ(a[q].results[i].first, b[q].results[i].first)
+          << label << " query " << q << " rank " << i;
+      EXPECT_EQ(a[q].results[i].second, b[q].results[i].second)
+          << label << " query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(QueryServerTest, AllProcessorsAgreeOnResults) {
+  ServingFixture fx;
+  const auto exhaustive = fx.MakeServer(ProcessorKind::kExhaustive, 1)->ServeBatch(fx.queries);
+  const auto maxscore = fx.MakeServer(ProcessorKind::kMaxScore, 1)->ServeBatch(fx.queries);
+  const auto ta = fx.MakeServer(ProcessorKind::kThresholdAlgorithm, 1)->ServeBatch(fx.queries);
+  ExpectSameResults(exhaustive, maxscore, "maxscore vs exhaustive");
+  ExpectSameResults(exhaustive, ta, "ta vs exhaustive");
+}
+
+TEST(QueryServerTest, ResultsAreThreadCountInvariant) {
+  ServingFixture fx;
+  const auto one = fx.MakeServer(ProcessorKind::kMaxScore, 1)->ServeBatch(fx.queries);
+  const auto two = fx.MakeServer(ProcessorKind::kMaxScore, 2)->ServeBatch(fx.queries);
+  const auto four = fx.MakeServer(ProcessorKind::kMaxScore, 4)->ServeBatch(fx.queries);
+  ExpectSameResults(one, two, "1 vs 2 threads");
+  ExpectSameResults(one, four, "1 vs 4 threads");
+}
+
+TEST(QueryServerTest, MetricsAreThreadCountInvariant) {
+  ServingFixture fx;
+  std::string baseline;
+  for (size_t threads : {1u, 2u, 4u}) {
+    obs::MetricsRegistry::Global().Reset();
+    fx.MakeServer(ProcessorKind::kMaxScore, threads)->ServeBatch(fx.queries);
+    // Non-timing metrics only: latency histograms legitimately vary.
+    const std::string snapshot =
+        obs::MetricsRegistry::Global().Snapshot().ToJsonLines(/*include_timing=*/false);
+    if (threads == 1) {
+      baseline = snapshot;
+      EXPECT_NE(baseline.find("jxp.qp.queries"), std::string::npos);
+      EXPECT_NE(baseline.find("jxp.qp.postings_decoded"), std::string::npos);
+      EXPECT_NE(baseline.find("jxp.qp.blocks_skipped"), std::string::npos);
+      EXPECT_NE(baseline.find("jxp.qp.candidates_scored"), std::string::npos);
+    } else {
+      EXPECT_EQ(snapshot, baseline) << threads << " threads";
+    }
+  }
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(QueryServerTest, EmitsServeBatchSpan) {
+  ServingFixture fx;
+  obs::StringTraceSink sink;
+  {
+    obs::ScopedTraceSink scoped(&sink);
+    fx.MakeServer(ProcessorKind::kMaxScore, 2)->ServeBatch(fx.queries);
+  }
+  const std::vector<std::string> lines = sink.TakeLines();
+  bool found = false;
+  for (const std::string& line : lines) {
+    if (line.find("qp.serve_batch") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QueryServerTest, ReportsAggregatedIndexStats) {
+  ServingFixture fx;
+  const auto server = fx.MakeServer(ProcessorKind::kMaxScore, 1);
+  EXPECT_EQ(server->num_peers(), 3u);
+  size_t postings = 0;
+  for (size_t p = 0; p < server->num_peers(); ++p) {
+    postings += server->compressed(p).stats().num_postings;
+  }
+  EXPECT_EQ(server->index_stats().num_postings, postings);
+  EXPECT_LT(server->index_stats().CompressedBytesPerPosting(),
+            CompressedIndexStats::kUncompressedBytesPerPosting);
+}
+
+TEST(QueryServerTest, MaxScoreDecodesFewerPostingsThanExhaustive) {
+  ServingFixture fx;
+  // Small blocks: with ~350-document peers the default 128-entry blocks hold
+  // whole posting lists, so block skipping would never trigger.
+  const auto exhaustive =
+      fx.MakeServer(ProcessorKind::kExhaustive, 1, 0.0, /*block_size=*/16)->ServeBatch(fx.queries);
+  const auto maxscore =
+      fx.MakeServer(ProcessorKind::kMaxScore, 1, 0.0, /*block_size=*/16)->ServeBatch(fx.queries);
+  size_t exhaustive_total = 0;
+  size_t maxscore_total = 0;
+  for (size_t q = 0; q < fx.queries.size(); ++q) {
+    exhaustive_total += exhaustive[q].stats.decode.postings_decoded;
+    maxscore_total += maxscore[q].stats.decode.postings_decoded;
+    EXPECT_LE(maxscore[q].stats.decode.postings_decoded,
+              exhaustive[q].stats.decode.postings_decoded)
+        << "query " << q;
+  }
+  EXPECT_LT(maxscore_total, exhaustive_total);
+}
+
+TEST(QueryServerTest, PriorFusionServesConsistently) {
+  ServingFixture fx;
+  for (graph::PageId p = 0; p < 900; ++p) {
+    fx.jxp_scores[p] = 1.0 / (3.0 + static_cast<double>((p * 40503u) % 500));
+  }
+  const auto exhaustive =
+      fx.MakeServer(ProcessorKind::kExhaustive, 1, 0.4)->ServeBatch(fx.queries);
+  const auto maxscore =
+      fx.MakeServer(ProcessorKind::kMaxScore, 4, 0.4)->ServeBatch(fx.queries);
+  ExpectSameResults(exhaustive, maxscore, "fused maxscore vs exhaustive");
+}
+
+}  // namespace
+}  // namespace qp
+}  // namespace jxp

@@ -56,6 +56,50 @@ TEST(DhtDirectoryTest, AccountsRoutingCosts) {
   EXPECT_GE(directory.total_lookup_hops(), hops_before);
 }
 
+TEST(DhtDirectoryTest, RoutingIsEmptyWhenNoPeerPostsAnyQueryTerm) {
+  // A published directory asked about terms nobody posted must route to no
+  // peers (and must not crash or fabricate a fallback peer).
+  Random rng(13);
+  graph::WebGraphParams params;
+  params.num_nodes = 200;
+  params.num_categories = 2;
+  const graph::CategorizedGraph collection = GenerateWebGraph(params, rng);
+  CorpusOptions corpus_options;
+  corpus_options.vocabulary_size = 2000;
+  corpus_options.category_vocab_size = 300;
+  const Corpus corpus = Corpus::Generate(collection, corpus_options, 14);
+
+  MinervaEngine engine(&corpus, SearchOptions());
+  p2p::ChordRing ring;
+  for (p2p::PeerId peer = 0; peer < 2; ++peer) {
+    std::vector<graph::PageId> pages;
+    for (graph::PageId p = peer; p < collection.graph.NumNodes(); p += 2) {
+      pages.push_back(p);
+    }
+    engine.AddPeer(peer, pages);
+    JXP_CHECK_OK(ring.Join(peer));
+  }
+  ring.Stabilize();
+  DhtDirectory directory(&ring);
+  engine.PublishToDirectory(directory, {});
+  ASSERT_GT(directory.NumTerms(), 0u);
+
+  // Term ids far beyond the vocabulary: no peer has posted them.
+  const std::vector<TermId> unposted = {static_cast<TermId>(900001),
+                                        static_cast<TermId>(900002)};
+  for (const RoutingPolicy policy :
+       {RoutingPolicy::kDocumentFrequency, RoutingPolicy::kJxpAuthority}) {
+    const auto routed =
+        engine.RoutePeersViaDirectory(unposted, directory, /*asking_peer=*/0, policy);
+    EXPECT_TRUE(routed.empty());
+  }
+  // An empty query routes nowhere either.
+  EXPECT_TRUE(engine
+                  .RoutePeersViaDirectory({}, directory, /*asking_peer=*/1,
+                                          RoutingPolicy::kDocumentFrequency)
+                  .empty());
+}
+
 TEST(DhtDirectoryTest, DirectoryRoutingMatchesOmniscientRouting) {
   // Build a small engine, publish everything, and verify that DHT-based
   // routing ranks the same best peer as the omniscient in-process routing.

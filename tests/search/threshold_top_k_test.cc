@@ -1,6 +1,7 @@
 #include "search/threshold_top_k.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include <gtest/gtest.h>
 
@@ -120,6 +121,64 @@ TEST(ThresholdTopKTest, EmptyQueryAndUnknownTerms) {
             fx.index->PostingsFor(3999) == nullptr
                 ? 0u
                 : std::min<size_t>(5, fx.index->PostingsFor(3999)->size()));
+}
+
+TEST(ThresholdTopKTest, TieBreakIsPageAscendingUnderTiedScores) {
+  TaFixture fx;
+  // A single-term query scores matching documents (1 + log tf) * idf, so
+  // equal term frequencies tie exactly. Find a term and a k where a tie run
+  // straddles the cutoff and require the deterministic (score desc, page asc)
+  // order — the regression this guards: heap eviction used to keep an
+  // arbitrary member of the tied set.
+  for (TermId t = 0; t < 4000; ++t) {
+    const auto* postings = fx.index->PostingsFor(t);
+    if (postings == nullptr || postings->size() < 8) continue;
+    const std::vector<TermId> query = {t};
+    const auto all = fx.BruteForce(query, postings->size());
+    size_t run_start = 0;
+    for (size_t i = 1; i <= all.size(); ++i) {
+      if (i == all.size() || all[i].second != all[run_start].second) {
+        if (i - run_start >= 2) {
+          const size_t k = run_start + (i - run_start) / 2 + 1;
+          const ThresholdTopKResult ta = ThresholdTopK(*fx.index, fx.corpus, query, k);
+          ASSERT_EQ(ta.results.size(), k);
+          for (size_t j = 0; j < k; ++j) {
+            EXPECT_EQ(ta.results[j].first, all[j].first) << "rank " << j;
+            EXPECT_EQ(ta.results[j].second, all[j].second) << "rank " << j;
+          }
+          // Within the straddled run the kept pages are the smallest ids.
+          for (size_t j = run_start + 1; j < k; ++j) {
+            EXPECT_LT(ta.results[j - 1].first, ta.results[j].first);
+          }
+          return;
+        }
+        run_start = i;
+      }
+    }
+  }
+  FAIL() << "no tied score run found; corpus parameters too diverse";
+}
+
+TEST(ThresholdTopKTest, RandomAccessesCountEachDocumentOnce) {
+  TaFixture fx;
+  Random rng(4);
+  const auto query = fx.corpus.SampleQueryTerms(2, 3, rng);
+  // k above the candidate count forces full consumption of every list, so
+  // every distinct matching document is randomly accessed exactly once.
+  std::unordered_set<graph::PageId> distinct;
+  for (TermId term : query) {
+    if (const auto* postings = fx.index->PostingsFor(term)) {
+      for (const Posting& posting : *postings) distinct.insert(posting.page);
+    }
+  }
+  ASSERT_FALSE(distinct.empty());
+  const ThresholdTopKResult ta =
+      ThresholdTopK(*fx.index, fx.corpus, query, distinct.size() + 1000);
+  EXPECT_FALSE(ta.early_terminated);
+  EXPECT_EQ(ta.random_accesses, distinct.size());
+  // Early-terminating runs can only see fewer documents.
+  const ThresholdTopKResult small = ThresholdTopK(*fx.index, fx.corpus, query, 5);
+  EXPECT_LE(small.random_accesses, distinct.size());
 }
 
 TEST(ThresholdTopKTest, ResultsAreSortedDescending) {
