@@ -58,7 +58,10 @@ void StartBenchTelemetry(const char* argv0, const BenchConfig& config) {
         .Field("meetings", config.meetings)
         .Field("eval_every", config.eval_every)
         .Field("top_k", config.top_k)
-        .Field("seed", config.seed);
+        .Field("seed", config.seed)
+        .Field("wire",
+               config.wire_mode == core::MeetingWireMode::kMeasured ? "measured"
+                                                                    : "estimated");
   });
 }
 
@@ -89,6 +92,13 @@ BenchConfig BenchConfig::FromFlags(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int64_t>(config.seed)));
   config.metrics_out = flags.GetString("metrics_out", config.metrics_out);
   config.metrics_out = flags.GetString("metrics-out", config.metrics_out);
+  const std::string wire = flags.GetString("wire", "estimated");
+  if (wire == "measured") {
+    config.wire_mode = core::MeetingWireMode::kMeasured;
+  } else {
+    JXP_CHECK(wire == "estimated") << "unknown --wire mode " << wire
+                                   << " (expected estimated|measured)";
+  }
   StartBenchTelemetry(argc > 0 ? argv[0] : nullptr, config);
   return config;
 }
@@ -170,15 +180,24 @@ void RunConvergenceSeries(core::JxpSimulation& sim, const BenchConfig& config,
 
 void PrintTrafficSummary(const core::JxpSimulation& sim) {
   const p2p::PeerTrafficSummary traffic = sim.network().AggregateTraffic();
+  const double estimated = sim.total_estimated_traffic_bytes();
   std::printf("# total traffic: %.1f MB over %zu meetings, per meeting mean %.1f KB / "
               "max %.1f KB\n",
               traffic.total_bytes / (1024.0 * 1024.0), sim.meetings_done(),
               traffic.mean_bytes / 1024.0, traffic.max_bytes / 1024.0);
+  // Under --wire=measured the two totals differ; the ratio is the wire
+  // format's real cost against the paper's analytic byte model.
+  std::printf("# estimated (analytic model): %.1f MB, measured/estimated %.3f\n",
+              estimated / (1024.0 * 1024.0),
+              estimated > 0 ? traffic.total_bytes / estimated : 0.0);
   obs::EmitEvent("traffic_summary", [&](obs::JsonWriter& writer) {
     writer.Field("meetings", sim.meetings_done())
         .Field("total_bytes", traffic.total_bytes)
         .Field("mean_bytes", traffic.mean_bytes)
-        .Field("max_bytes", traffic.max_bytes);
+        .Field("max_bytes", traffic.max_bytes)
+        .Field("estimated_total_bytes", estimated)
+        .Field("measured_over_estimated",
+               estimated > 0 ? traffic.total_bytes / estimated : 0.0);
   });
 }
 

@@ -34,6 +34,11 @@ struct BenchConfig {
   /// at this path (spans, events, and — at exit — a metrics snapshot).
   /// Flag spellings --metrics_out=PATH and --metrics-out=PATH both work.
   std::string metrics_out;
+  /// Meeting byte accounting: --wire=estimated (the paper's analytic model,
+  /// the default) or --wire=measured (encode every meeting through the
+  /// binary wire format and count real frame bytes). The traffic summary
+  /// reports both totals either way.
+  core::MeetingWireMode wire_mode = core::MeetingWireMode::kEstimated;
 
   /// Parses the standard flags; unknown flags abort.
   static BenchConfig FromFlags(int argc, char** argv);

@@ -39,6 +39,7 @@ void Run(int argc, char** argv) {
        {core::SelectionStrategy::kRandom, core::SelectionStrategy::kPreMeetings}) {
     core::SimulationConfig sim_config;
     sim_config.jxp = BenchJxpOptions();
+    sim_config.jxp.wire_mode = config.wire_mode;
     sim_config.strategy = strategy;
     sim_config.seed = config.seed;
     sim_config.eval_top_k = 100;

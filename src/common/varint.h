@@ -1,0 +1,74 @@
+#ifndef JXP_COMMON_VARINT_H_
+#define JXP_COMMON_VARINT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace jxp {
+
+/// Compact-encoding primitives shared by the qp posting-list compression and
+/// the meeting wire codec (DESIGN.md §6f / §6g): VByte variable-length
+/// integers (7 data bits per byte, high bit set on all but the final byte)
+/// and the never-narrowing float quantization used for per-block metadata
+/// and wire scores.
+
+/// Appends `value` VByte-encoded to `out`.
+inline void VByteEncode32(uint32_t value, std::vector<uint8_t>& out) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<uint8_t>((value & 0x7fu) | 0x80u));
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+inline void VByteEncode64(uint64_t value, std::vector<uint8_t>& out) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<uint8_t>((value & 0x7fu) | 0x80u));
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+/// Decodes one VByte value starting at `data[offset]`, advancing `offset`.
+/// Trusted-input variant (no bounds checking): the caller guarantees a
+/// complete encoding is present, as qp's in-memory blocks do. Untrusted
+/// input (wire frames) goes through wire::ByteReader instead.
+inline uint32_t VByteDecode32(const uint8_t* data, size_t& offset) {
+  uint32_t value = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t byte = data[offset++];
+    value |= static_cast<uint32_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) return value;
+    shift += 7;
+  }
+}
+
+/// Smallest float f with (double)f >= v; the rounding direction that keeps a
+/// quantized *upper bound* a true upper bound of the exact doubles it
+/// summarizes (the qp pruning invariant).
+inline float UpperBoundFloat(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) < v) {
+    f = std::nextafter(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+/// Largest float f with (double)f <= v; the rounding direction for wire
+/// scores, which must never *overestimate* the sender's exact value (JXP
+/// safety, Theorem 5.3: reported scores are underestimates of the true
+/// PageRank, and quantization must not break that).
+inline float LowerBoundFloat(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) > v) {
+    f = std::nextafter(f, -std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+}  // namespace jxp
+
+#endif  // JXP_COMMON_VARINT_H_

@@ -59,6 +59,20 @@ enum class MergeMode {
   kLightWeight,
 };
 
+/// How meeting message sizes are obtained.
+enum class MeetingWireMode {
+  /// Analytic byte model (the pre-wire accounting, Section 6.2's id /
+  /// degree / score counts): no bytes are actually serialized. The default;
+  /// every simulation result is bit-identical to builds before the wire
+  /// layer existed.
+  kEstimated,
+  /// Real binary framing: each meeting serializes both messages through the
+  /// wire codec (src/wire), transport faults act on the actual bytes, and
+  /// traffic accounting reports measured encoded sizes (the analytic
+  /// estimate is still reported alongside, see MeetingOutcome).
+  kMeasured,
+};
+
 /// How scores known to both peers are combined during a meeting.
 enum class CombineMode {
   /// Baseline: average the two scores; after the PR run, scores of
@@ -106,6 +120,8 @@ struct JxpOptions {
   /// of Theorem 5.1 (overlapping peers may report at different knowledge
   /// levels), hence the default preserves the paper's semantics.
   bool authoritative_refresh = false;
+  /// Whether meeting traffic is byte-accurate (encoded frames) or modeled.
+  MeetingWireMode wire_mode = MeetingWireMode::kEstimated;
   /// Adversarial behaviour of this peer (kNone for honest peers).
   AttackOptions attack;
   /// Defenses this peer applies to incoming messages.

@@ -7,6 +7,7 @@
 
 #include "common/timer.h"
 #include "core/extended_graph.h"
+#include "core/meeting_wire.h"
 #include "markov/power_iteration.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -33,6 +34,16 @@ struct MeetingMetrics {
       "jxp.merge.pr_iterations", {1, 2, 5, 10, 20, 50, 100, 200, 500});
   obs::Histogram world_update_ms = obs::MetricsRegistry::Global().GetHistogram(
       "jxp.merge.world_update_ms", {0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100});
+  /// Measured-wire-mode observables: per-message encoded size, analytic /
+  /// measured compression ratio (both deterministic), and codec CPU.
+  obs::Histogram wire_message_bytes = obs::MetricsRegistry::Global().GetHistogram(
+      "jxp.wire.message_bytes", p2p::WireByteBuckets());
+  obs::Histogram wire_compression_ratio = obs::MetricsRegistry::Global().GetHistogram(
+      "jxp.wire.compression_ratio", {0.5, 1, 1.5, 2, 2.5, 3, 4, 6, 8, 12});
+  obs::Histogram wire_encode_ms = obs::MetricsRegistry::Global().GetHistogram(
+      "jxp.wire.encode_ms", {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10});
+  obs::Histogram wire_decode_ms = obs::MetricsRegistry::Global().GetHistogram(
+      "jxp.wire.decode_ms", {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10});
 };
 
 MeetingMetrics& GetMeetingMetrics() {
@@ -122,8 +133,12 @@ MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner,
   JXP_CHECK_NE(initiator.id_, partner.id_) << "peer meeting itself";
   JXP_CHECK(!faults.abandoned) << "abandoned meeting must not run";
   JXP_CHECK(initiator.options_.merge_mode == partner.options_.merge_mode &&
-            initiator.options_.combine_mode == partner.options_.combine_mode)
+            initiator.options_.combine_mode == partner.options_.combine_mode &&
+            initiator.options_.wire_mode == partner.options_.wire_mode)
       << "meeting peers must share JXP options";
+  if (initiator.options_.wire_mode == MeetingWireMode::kMeasured) {
+    return MeetMeasured(initiator, partner, faults);
+  }
   obs::TraceSpan span("jxp.meeting");
   span.AddAttr("initiator", initiator.id_);
   span.AddAttr("partner", partner.id_);
@@ -137,6 +152,9 @@ MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner,
   outcome.bytes_sent_initiator = initiator_view.wire_bytes;
   outcome.bytes_sent_partner = partner_view.wire_bytes;
   outcome.wire_bytes = initiator_view.wire_bytes + partner_view.wire_bytes;
+  outcome.estimated_bytes_initiator = outcome.bytes_sent_initiator;
+  outcome.estimated_bytes_partner = outcome.bytes_sent_partner;
+  outcome.estimated_wire_bytes = outcome.wire_bytes;
 
   // Resolve the transport faults of each direction: what (if anything) of
   // the sender's message reaches the receiver. A truncation so severe that
@@ -200,6 +218,143 @@ MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner,
       span.AddAttr("wasted_bytes", outcome.wasted_bytes);
     }
     span.AddAttr("wire_bytes", outcome.wire_bytes);
+    span.AddAttr("cpu_ms_initiator", outcome.cpu_millis_initiator);
+    span.AddAttr("cpu_ms_partner", outcome.cpu_millis_partner);
+    span.AddAttr("pr_iterations",
+                 outcome.pr_iterations_initiator + outcome.pr_iterations_partner);
+  }
+  return outcome;
+}
+
+MeetingOutcome JxpPeer::MeetMeasured(JxpPeer& initiator, JxpPeer& partner,
+                                     const p2p::MeetingFaultDecision& faults) {
+  obs::TraceSpan span("jxp.meeting");
+  span.AddAttr("initiator", initiator.id_);
+  span.AddAttr("partner", partner.id_);
+  span.AddAttr("wire_mode", "measured");
+
+  PeerView initiator_view = initiator.MakeView();
+  PeerView partner_view = partner.MakeView();
+
+  // Serialize both messages through the wire codec; from here on the bytes
+  // *are* the message, and faults act on them.
+  std::optional<ThreadCpuTimer> encode_timer;
+  if (obs::Enabled()) encode_timer.emplace();
+  const std::vector<uint8_t> initiator_bytes = EncodeMeetingMessage(
+      *initiator_view.fragment, initiator_view.scores, initiator_view.world,
+      initiator.options_.estimate_global_size ? initiator_view.page_sketch : nullptr);
+  const std::vector<uint8_t> partner_bytes = EncodeMeetingMessage(
+      *partner_view.fragment, partner_view.scores, partner_view.world,
+      partner.options_.estimate_global_size ? partner_view.page_sketch : nullptr);
+  if (encode_timer.has_value()) {
+    GetMeetingMetrics().wire_encode_ms.Observe(encode_timer->ElapsedMillis());
+  }
+
+  MeetingOutcome outcome;
+  outcome.bytes_sent_initiator = static_cast<double>(initiator_bytes.size());
+  outcome.bytes_sent_partner = static_cast<double>(partner_bytes.size());
+  outcome.wire_bytes = outcome.bytes_sent_initiator + outcome.bytes_sent_partner;
+  outcome.estimated_bytes_initiator = initiator_view.wire_bytes;
+  outcome.estimated_bytes_partner = partner_view.wire_bytes;
+  outcome.estimated_wire_bytes = initiator_view.wire_bytes + partner_view.wire_bytes;
+
+  // Resolves one direction's transport: truncation keeps a byte prefix,
+  // corruption flips one bit of what arrives, and the receiver's decoder
+  // salvages the intact frame prefix. Returns false when nothing usable
+  // arrived (drop, or damage so early that no page decoded); the delivered
+  // fraction is measured in decoded bytes over sent bytes.
+  const auto resolve = [](const std::vector<uint8_t>& sent, bool drop, double keep,
+                          bool corrupt, double corrupt_offset, int corrupt_bit,
+                          PeerView& received, double& fraction) -> bool {
+    fraction = 0;
+    if (drop || sent.empty()) return false;
+    std::vector<uint8_t> delivered = sent;
+    if (keep < 1.0) {
+      delivered.resize(static_cast<size_t>(keep * static_cast<double>(delivered.size())));
+      if (delivered.empty()) return false;
+    }
+    if (corrupt) {
+      const size_t at = std::min(
+          delivered.size() - 1,
+          static_cast<size_t>(corrupt_offset * static_cast<double>(delivered.size())));
+      delivered[at] ^= static_cast<uint8_t>(1u << (corrupt_bit & 7));
+    }
+    DecodedMeetingMessage decoded = DecodeMeetingMessage(delivered);
+    if (decoded.fragment == nullptr) return false;
+    received.owned_fragment = decoded.fragment;
+    received.fragment = received.owned_fragment.get();
+    received.scores = std::move(decoded.scores);
+    received.world = std::move(decoded.world);
+    received.owned_sketch = decoded.sketch;
+    received.page_sketch = received.owned_sketch.get();
+    received.wire_bytes = static_cast<double>(decoded.bytes_consumed);
+    fraction = static_cast<double>(decoded.bytes_consumed) /
+               static_cast<double>(sent.size());
+    return true;
+  };
+
+  std::optional<ThreadCpuTimer> decode_timer;
+  if (obs::Enabled()) decode_timer.emplace();
+  PeerView to_initiator;
+  PeerView to_partner;
+  double delivered_to_initiator = 0;
+  double delivered_to_partner = 0;
+  const bool initiator_got_message = resolve(
+      partner_bytes, faults.drop_to_initiator, faults.keep_to_initiator,
+      faults.corrupt_to_initiator, faults.corrupt_offset_to_initiator,
+      faults.corrupt_bit_to_initiator, to_initiator, delivered_to_initiator);
+  const bool partner_got_message = resolve(
+      initiator_bytes, faults.drop_to_partner, faults.keep_to_partner,
+      faults.corrupt_to_partner, faults.corrupt_offset_to_partner,
+      faults.corrupt_bit_to_partner, to_partner, delivered_to_partner);
+  if (decode_timer.has_value()) {
+    GetMeetingMetrics().wire_decode_ms.Observe(decode_timer->ElapsedMillis());
+  }
+
+  outcome.applied_initiator = initiator_got_message && !faults.crash_initiator;
+  outcome.applied_partner = partner_got_message && !faults.crash_partner;
+  if (outcome.applied_initiator) {
+    outcome.cpu_millis_initiator = initiator.ProcessMeeting(to_initiator);
+    outcome.pr_iterations_initiator = initiator.last_pr_iterations_;
+  }
+  if (outcome.applied_partner) {
+    outcome.cpu_millis_partner = partner.ProcessMeeting(to_partner);
+    outcome.pr_iterations_partner = partner.last_pr_iterations_;
+  }
+
+  // Same wasted-byte convention as the estimated path, but against measured
+  // sizes: what a sender shipped minus what its receiver decoded and used.
+  outcome.wasted_bytes_initiator =
+      outcome.bytes_sent_initiator *
+      (1.0 - (outcome.applied_partner ? delivered_to_partner : 0.0));
+  outcome.wasted_bytes_partner =
+      outcome.bytes_sent_partner *
+      (1.0 - (outcome.applied_initiator ? delivered_to_initiator : 0.0));
+  outcome.wasted_bytes = outcome.wasted_bytes_initiator + outcome.wasted_bytes_partner;
+
+  if (obs::Enabled()) {
+    MeetingMetrics& metrics = GetMeetingMetrics();
+    metrics.meetings.Increment();
+    metrics.wire_bytes.Observe(outcome.wire_bytes);
+    metrics.wire_message_bytes.Observe(outcome.bytes_sent_initiator);
+    metrics.wire_message_bytes.Observe(outcome.bytes_sent_partner);
+    if (outcome.bytes_sent_initiator > 0) {
+      metrics.wire_compression_ratio.Observe(outcome.estimated_bytes_initiator /
+                                             outcome.bytes_sent_initiator);
+    }
+    if (outcome.bytes_sent_partner > 0) {
+      metrics.wire_compression_ratio.Observe(outcome.estimated_bytes_partner /
+                                             outcome.bytes_sent_partner);
+    }
+  }
+  if (span.active()) {
+    if (!faults.Clean()) {
+      span.AddAttr("applied_initiator", outcome.applied_initiator);
+      span.AddAttr("applied_partner", outcome.applied_partner);
+      span.AddAttr("wasted_bytes", outcome.wasted_bytes);
+    }
+    span.AddAttr("wire_bytes", outcome.wire_bytes);
+    span.AddAttr("estimated_wire_bytes", outcome.estimated_wire_bytes);
     span.AddAttr("cpu_ms_initiator", outcome.cpu_millis_initiator);
     span.AddAttr("cpu_ms_partner", outcome.cpu_millis_partner);
     span.AddAttr("pr_iterations",

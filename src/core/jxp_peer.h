@@ -19,12 +19,20 @@ namespace core {
 
 /// Measurements of one peer meeting.
 struct MeetingOutcome {
-  /// Total bytes moved over the wire (both directions).
+  /// Total bytes moved over the wire (both directions). Under
+  /// MeetingWireMode::kEstimated this is the analytic model; under
+  /// kMeasured it is the actual encoded frame size.
   double wire_bytes = 0;
   /// Bytes each side sent (its fragment structure + score list + world
   /// node); wire_bytes is their sum.
   double bytes_sent_initiator = 0;
   double bytes_sent_partner = 0;
+  /// The analytic size estimate of the same messages, always computed so
+  /// fig11/fig12 can report measured and estimated side by side. Equal to
+  /// the bytes_sent_* fields in kEstimated mode.
+  double estimated_bytes_initiator = 0;
+  double estimated_bytes_partner = 0;
+  double estimated_wire_bytes = 0;
   /// CPU milliseconds each side spent on its merge + local PR.
   double cpu_millis_initiator = 0;
   double cpu_millis_partner = 0;
@@ -175,12 +183,21 @@ class JxpPeer {
     WorldNode world;
     const synopses::HashSketch* page_sketch = nullptr;
     double wire_bytes = 0;
-    /// Storage backing `fragment` for truncated (fault-injected) views; the
-    /// clean path points `fragment` at the sender's own fragment instead.
+    /// Storage backing `fragment` for truncated (fault-injected) and
+    /// wire-decoded views; the clean path points `fragment` at the sender's
+    /// own fragment instead.
     std::shared_ptr<const graph::Subgraph> owned_fragment;
+    /// Storage backing `page_sketch` for wire-decoded views.
+    std::shared_ptr<const synopses::HashSketch> owned_sketch;
   };
 
   PeerView MakeView() const;
+
+  /// The kMeasured meeting path: both views are serialized through the wire
+  /// codec, faults (drop / truncation / bit corruption) act on the real
+  /// bytes, and each receiver applies whatever its decoder salvages.
+  static MeetingOutcome MeetMeasured(JxpPeer& initiator, JxpPeer& partner,
+                                     const p2p::MeetingFaultDecision& faults);
 
   /// Models a transfer that aborted after `keep_fraction` of the message: a
   /// view carrying the prefix of the page table that fully arrived, without

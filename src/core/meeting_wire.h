@@ -1,0 +1,58 @@
+#ifndef JXP_CORE_MEETING_WIRE_H_
+#define JXP_CORE_MEETING_WIRE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/world_node.h"
+#include "graph/subgraph.h"
+#include "synopses/hash_sketch.h"
+#include "wire/meeting_codec.h"
+
+namespace jxp {
+namespace core {
+
+/// Bridge between the peer vocabulary (Subgraph, WorldNode, HashSketch) and
+/// the wire codec (DESIGN.md §6g): the encode side flattens peer state into
+/// the codec's plain records, the decode side rebuilds it. Lives in core —
+/// not wire — so the wire library never depends on core types.
+
+/// Serializes one complete meeting message: the page table (fragment +
+/// scores, chunked), the world knowledge (skipped when empty), and, when
+/// `sketch` is non-null, the page sketch.
+std::vector<uint8_t> EncodeMeetingMessage(const graph::Subgraph& fragment,
+                                          std::span<const double> scores,
+                                          const WorldNode& world,
+                                          const synopses::HashSketch* sketch,
+                                          const wire::EncodeOptions& options = {});
+
+/// What a receiver recovers from a (possibly truncated or corrupted)
+/// meeting message.
+struct DecodedMeetingMessage {
+  /// The sender's fragment as reconstructed from the decoded page table (a
+  /// prefix of the sender's real fragment under truncation); null when not
+  /// even one page decoded — the message then degenerates to a drop.
+  std::shared_ptr<const graph::Subgraph> fragment;
+  /// Scores by the rebuilt fragment's local index.
+  std::vector<double> scores;
+  /// World knowledge; empty when the world frame was absent or lost.
+  WorldNode world;
+  /// Page sketch; null when the synopsis frame was absent or lost.
+  std::shared_ptr<const synopses::HashSketch> sketch;
+  /// Bytes of fully-decoded frames.
+  size_t bytes_consumed = 0;
+  /// OK when the entire buffer decoded; otherwise why decoding stopped.
+  Status error;
+};
+
+/// Decodes the longest valid prefix of `bytes` (lenient, fault-tolerant;
+/// see wire::DecodeMeeting).
+DecodedMeetingMessage DecodeMeetingMessage(std::span<const uint8_t> bytes);
+
+}  // namespace core
+}  // namespace jxp
+
+#endif  // JXP_CORE_MEETING_WIRE_H_

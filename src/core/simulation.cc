@@ -153,6 +153,7 @@ void JxpSimulation::RunMeetings(size_t count) {
     network_.RecordMeetingTraffic(initiator, outcome.bytes_sent_initiator + extra / 2);
     network_.RecordMeetingTraffic(selection.partner,
                                   outcome.bytes_sent_partner + extra / 2);
+    total_estimated_traffic_bytes_ += outcome.estimated_wire_bytes + extra;
     if (injector_ != nullptr) {
       AccountWasted(outcome, initiator, selection.partner);
       MaybeCheckpoint(initiator);
@@ -233,6 +234,7 @@ void JxpSimulation::RunMeetingsParallel(size_t count) {
                                     outcomes[i].bytes_sent_initiator + extra / 2);
       network_.RecordMeetingTraffic(round[i].selection.partner,
                                     outcomes[i].bytes_sent_partner + extra / 2);
+      total_estimated_traffic_bytes_ += outcomes[i].estimated_wire_bytes + extra;
       if (injector_ != nullptr) {
         AccountWasted(outcomes[i], round[i].initiator, round[i].selection.partner);
         MaybeCheckpoint(round[i].initiator);

@@ -139,6 +139,12 @@ class JxpSimulation {
   /// Overlay membership and traffic statistics.
   const p2p::Network& network() const { return network_; }
 
+  /// Cumulative *analytic* estimate of all meeting traffic (the kEstimated
+  /// byte model plus selection overhead), accumulated alongside the real
+  /// totals so experiments can report measured and estimated side by side.
+  /// Equals Network::TotalTrafficBytes() when jxp.wire_mode == kEstimated.
+  double total_estimated_traffic_bytes() const { return total_estimated_traffic_bytes_; }
+
   /// True global PageRank scores (the comparison baseline).
   const std::vector<double>& global_scores() const { return global_scores_; }
 
@@ -211,6 +217,7 @@ class JxpSimulation {
   std::vector<double> global_scores_;
   std::vector<metrics::ScoredItem> global_top_k_;
   size_t meetings_done_ = 0;
+  double total_estimated_traffic_bytes_ = 0;
   std::vector<ConvergencePoint> convergence_series_;
   size_t next_monitor_at_ = 0;  // Next meetings_done_ threshold to sample at.
 };

@@ -18,6 +18,8 @@ struct FaultMetrics {
       obs::MetricsRegistry::Global().GetCounter("jxp.faults.message_drops");
   obs::Counter truncations =
       obs::MetricsRegistry::Global().GetCounter("jxp.faults.truncations");
+  obs::Counter corruptions =
+      obs::MetricsRegistry::Global().GetCounter("jxp.faults.corruptions");
   obs::Counter crashes = obs::MetricsRegistry::Global().GetCounter("jxp.faults.crashes");
   obs::Counter stale_resumes =
       obs::MetricsRegistry::Global().GetCounter("jxp.faults.stale_resumes");
@@ -87,6 +89,18 @@ MeetingFaultDecision FaultInjector::NextMeeting(PeerId initiator, PeerId partner
         decision.keep_to_initiator = plan_.truncation_keep_fraction;
       }
     }
+    if (plan_.corruption_probability > 0) {
+      if (rng_.NextBool(plan_.corruption_probability)) {
+        decision.corrupt_to_partner = true;
+        decision.corrupt_offset_to_partner = rng_.NextDouble();
+        decision.corrupt_bit_to_partner = static_cast<int>(rng_.NextInRange(0, 7));
+      }
+      if (rng_.NextBool(plan_.corruption_probability)) {
+        decision.corrupt_to_initiator = true;
+        decision.corrupt_offset_to_initiator = rng_.NextDouble();
+        decision.corrupt_bit_to_initiator = static_cast<int>(rng_.NextInRange(0, 7));
+      }
+    }
     if (plan_.crash_probability > 0) {
       decision.crash_initiator = rng_.NextBool(plan_.crash_probability);
       decision.crash_partner = rng_.NextBool(plan_.crash_probability);
@@ -101,12 +115,15 @@ MeetingFaultDecision FaultInjector::NextMeeting(PeerId initiator, PeerId partner
                          static_cast<uint64_t>(decision.drop_to_partner);
   const uint64_t truncations = static_cast<uint64_t>(decision.keep_to_initiator < 1.0) +
                                static_cast<uint64_t>(decision.keep_to_partner < 1.0);
+  const uint64_t corruptions = static_cast<uint64_t>(decision.corrupt_to_initiator) +
+                               static_cast<uint64_t>(decision.corrupt_to_partner);
   const uint64_t crashes = static_cast<uint64_t>(decision.crash_initiator) +
                            static_cast<uint64_t>(decision.crash_partner);
   const uint64_t resumes = static_cast<uint64_t>(decision.stale_resume_initiator) +
                            static_cast<uint64_t>(decision.stale_resume_partner);
   stats_.message_drops += drops;
   stats_.truncations += truncations;
+  stats_.corruptions += corruptions;
   stats_.crashes += crashes;
   stats_.stale_resumes += resumes;
   if (decision.Clean()) return decision;
@@ -116,6 +133,7 @@ MeetingFaultDecision FaultInjector::NextMeeting(PeerId initiator, PeerId partner
     FaultMetrics& metrics = GetFaultMetrics();
     metrics.message_drops.Increment(drops);
     metrics.truncations.Increment(truncations);
+    metrics.corruptions.Increment(corruptions);
     metrics.crashes.Increment(crashes);
     metrics.stale_resumes.Increment(resumes);
     metrics.retries.Increment(static_cast<uint64_t>(decision.failed_attempts));
@@ -129,6 +147,7 @@ MeetingFaultDecision FaultInjector::NextMeeting(PeerId initiator, PeerId partner
         .Field("abandoned", decision.abandoned)
         .Field("drops", drops)
         .Field("truncations", truncations)
+        .Field("corruptions", corruptions)
         .Field("crashes", crashes)
         .Field("stale_resumes", resumes);
   });

@@ -38,6 +38,12 @@ struct FaultPlan {
   /// table is cut to this fraction; the world node, at the tail of the
   /// message, is lost entirely).
   double truncation_keep_fraction = 0.5;
+  /// Per-direction probability that one bit of the message flips in
+  /// transit. Only meaningful under core::MeetingWireMode::kMeasured, where
+  /// the frame checksum detects the damage and the receiver salvages the
+  /// intact frame prefix; the analytic (kEstimated) mode has no bytes to
+  /// flip and ignores the decision.
+  double corruption_probability = 0;
   /// Per-side probability of a mid-meeting crash: the side sends its
   /// message but crashes before applying the partner's (one-sided
   /// application; the crashed side's state does not advance).
@@ -66,8 +72,8 @@ struct FaultPlan {
   /// build without the fault layer.
   bool Enabled() const {
     return message_drop_probability > 0 || truncation_probability > 0 ||
-           crash_probability > 0 || stale_resume_probability > 0 ||
-           unavailable_probability > 0;
+           corruption_probability > 0 || crash_probability > 0 ||
+           stale_resume_probability > 0 || unavailable_probability > 0;
   }
 };
 
@@ -86,6 +92,17 @@ struct MeetingFaultDecision {
   /// Delivered fraction per direction; 1.0 = complete transfer.
   double keep_to_initiator = 1.0;
   double keep_to_partner = 1.0;
+  /// Single-bit corruption per direction (measured wire mode): the flip
+  /// lands in the byte at `corrupt_offset_*` (a fraction of the delivered
+  /// message) at bit index `corrupt_bit_*`. All values are drawn on the
+  /// scheduling thread, like every other fault, so the schedule stays a
+  /// pure function of the plan seed.
+  bool corrupt_to_initiator = false;
+  bool corrupt_to_partner = false;
+  double corrupt_offset_to_initiator = 0;
+  double corrupt_offset_to_partner = 0;
+  int corrupt_bit_to_initiator = 0;
+  int corrupt_bit_to_partner = 0;
   /// Mid-meeting crash per side (the crashed side applies nothing).
   bool crash_initiator = false;
   bool crash_partner = false;
@@ -97,8 +114,8 @@ struct MeetingFaultDecision {
   bool Clean() const {
     return failed_attempts == 0 && !abandoned && !drop_to_initiator &&
            !drop_to_partner && keep_to_initiator >= 1.0 && keep_to_partner >= 1.0 &&
-           !crash_initiator && !crash_partner && !stale_resume_initiator &&
-           !stale_resume_partner;
+           !corrupt_to_initiator && !corrupt_to_partner && !crash_initiator &&
+           !crash_partner && !stale_resume_initiator && !stale_resume_partner;
   }
 };
 
@@ -110,6 +127,7 @@ struct FaultStats {
   uint64_t faulty_meetings = 0;
   uint64_t message_drops = 0;
   uint64_t truncations = 0;
+  uint64_t corruptions = 0;
   uint64_t crashes = 0;
   uint64_t stale_resumes = 0;
   uint64_t unavailable_retries = 0;

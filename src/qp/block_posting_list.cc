@@ -1,37 +1,9 @@
 #include "qp/block_posting_list.h"
 
-#include <cmath>
-#include <limits>
+#include <algorithm>
 
 namespace jxp {
 namespace qp {
-
-void VByteEncode(uint32_t value, std::vector<uint8_t>& out) {
-  while (value >= 0x80u) {
-    out.push_back(static_cast<uint8_t>((value & 0x7fu) | 0x80u));
-    value >>= 7;
-  }
-  out.push_back(static_cast<uint8_t>(value));
-}
-
-uint32_t VByteDecode(const uint8_t* data, size_t& offset) {
-  uint32_t value = 0;
-  int shift = 0;
-  while (true) {
-    const uint8_t byte = data[offset++];
-    value |= static_cast<uint32_t>(byte & 0x7fu) << shift;
-    if ((byte & 0x80u) == 0) return value;
-    shift += 7;
-  }
-}
-
-float UpperBoundAsFloat(double v) {
-  float f = static_cast<float>(v);
-  if (static_cast<double>(f) < v) {
-    f = std::nextafter(f, std::numeric_limits<float>::infinity());
-  }
-  return f;
-}
 
 BlockPostingList BlockPostingList::Build(std::span<const PostingIn> postings,
                                          size_t block_size) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/varint.h"
 
 namespace jxp {
 namespace qp {
@@ -32,16 +33,21 @@ struct DecodeStats {
 };
 
 /// Appends `value` VByte-encoded (7 data bits per byte, high bit set on all
-/// but the final byte) to `out`.
-void VByteEncode(uint32_t value, std::vector<uint8_t>& out);
+/// but the final byte) to `out`. Thin alias of the shared common/varint.h
+/// implementation (one codec, two call sites: qp blocks and the wire layer).
+inline void VByteEncode(uint32_t value, std::vector<uint8_t>& out) {
+  VByteEncode32(value, out);
+}
 
 /// Decodes one VByte value starting at `data[offset]`, advancing `offset`.
-uint32_t VByteDecode(const uint8_t* data, size_t& offset);
+inline uint32_t VByteDecode(const uint8_t* data, size_t& offset) {
+  return VByteDecode32(data, offset);
+}
 
 /// Smallest float f with (double)f >= v; the rounding direction that keeps
 /// quantized per-block metadata a true upper bound of the exact doubles it
 /// summarizes (the qp pruning invariant, DESIGN.md §6f).
-float UpperBoundAsFloat(double v);
+inline float UpperBoundAsFloat(double v) { return UpperBoundFloat(v); }
 
 /// One term's immutable compressed posting list: docid-sorted postings split
 /// into fixed-size blocks, each block holding VByte-encoded docid deltas

@@ -1,0 +1,378 @@
+#include "wire/meeting_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace jxp {
+namespace wire {
+
+namespace {
+
+/// Codec observables. All counters are pure functions of the encoded /
+/// decoded messages (byte and frame counts), so they stay bit-identical
+/// across runs and thread counts (DESIGN.md §6d).
+struct WireMetrics {
+  obs::Counter score_bytes =
+      obs::MetricsRegistry::Global().GetCounter("jxp.wire.score_bytes");
+  obs::Counter world_bytes =
+      obs::MetricsRegistry::Global().GetCounter("jxp.wire.world_bytes");
+  obs::Counter synopsis_bytes =
+      obs::MetricsRegistry::Global().GetCounter("jxp.wire.synopsis_bytes");
+  obs::Counter frames_encoded =
+      obs::MetricsRegistry::Global().GetCounter("jxp.wire.frames_encoded");
+  obs::Counter frames_decoded =
+      obs::MetricsRegistry::Global().GetCounter("jxp.wire.frames_decoded");
+  obs::Counter frames_rejected =
+      obs::MetricsRegistry::Global().GetCounter("jxp.wire.frames_rejected");
+  obs::Counter decoded_bytes =
+      obs::MetricsRegistry::Global().GetCounter("jxp.wire.decoded_bytes");
+};
+
+WireMetrics& GetWireMetrics() {
+  static WireMetrics metrics;
+  return metrics;
+}
+
+/// Hard cap on a decoded synopsis's bucket count; real sketches use a few
+/// hundred buckets, and the cap bounds the allocation a corrupt count can
+/// request before per-element reads start failing.
+constexpr uint32_t kMaxSynopsisBuckets = 1u << 20;
+
+Status BadPayload(const char* what) {
+  return Status::Corruption(std::string("bad frame payload: ") + what);
+}
+
+/// Reads a delta-encoded id: absolute when `first`, else prev + delta with
+/// delta >= 1 (ids are strictly ascending) and overflow rejected.
+bool ReadAscendingId(ByteReader& reader, bool first, graph::PageId prev,
+                     graph::PageId* id) {
+  uint32_t raw = 0;
+  if (!reader.GetVarint32(&raw)) return false;
+  if (first) {
+    *id = raw;
+    return true;
+  }
+  if (raw == 0) return false;
+  if (raw > std::numeric_limits<graph::PageId>::max() - prev) return false;
+  *id = prev + raw;
+  return true;
+}
+
+/// Reads a wire score: a finite, non-negative float (scores are probability
+/// masses; anything else is corruption).
+bool ReadScore(ByteReader& reader, float* score) {
+  if (!reader.GetFloat(score)) return false;
+  return std::isfinite(*score) && *score >= 0.0f;
+}
+
+void WriteAscendingIds(ByteWriter& writer, std::span<const graph::PageId> ids) {
+  graph::PageId prev = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i == 0) {
+      writer.PutVarint32(ids[i]);
+    } else {
+      JXP_CHECK_GT(ids[i], prev) << "wire ids must be strictly ascending";
+      writer.PutVarint32(ids[i] - prev);
+    }
+    prev = ids[i];
+  }
+}
+
+Status DecodeScoreChunk(std::span<const uint8_t> payload, DecodedMeeting& out) {
+  ByteReader reader(payload);
+  uint32_t first_index = 0;
+  uint32_t count = 0;
+  if (!reader.GetVarint32(&first_index) || !reader.GetVarint32(&count)) {
+    return BadPayload("truncated chunk header");
+  }
+  if (count == 0) return BadPayload("empty score chunk");
+  // Each record is at least 6 bytes (id + score + degree), so a count beyond
+  // the payload size cannot be genuine; reject before reserving memory.
+  if (count > payload.size()) return BadPayload("chunk count exceeds payload");
+  if (first_index != out.pages.size()) {
+    return BadPayload("score chunk out of sequence");
+  }
+  // Parse into a scratch vector so a mid-frame failure leaves `out` with
+  // whole frames only.
+  std::vector<ScoreListPage> records;
+  records.reserve(count);
+  graph::PageId prev_page =
+      out.pages.empty() ? 0 : out.pages.back().page;
+  const bool first_record_of_message = out.pages.empty();
+  for (uint32_t i = 0; i < count; ++i) {
+    ScoreListPage record;
+    const bool first = first_record_of_message && i == 0;
+    if (!ReadAscendingId(reader, first, prev_page, &record.page)) {
+      return BadPayload("page ids not strictly ascending");
+    }
+    prev_page = record.page;
+    if (!ReadScore(reader, &record.score)) return BadPayload("invalid page score");
+    uint32_t degree = 0;
+    if (!reader.GetVarint32(&degree)) return BadPayload("truncated degree");
+    if (degree > payload.size()) return BadPayload("degree exceeds payload");
+    record.successors.reserve(degree);
+    graph::PageId prev_succ = 0;
+    for (uint32_t j = 0; j < degree; ++j) {
+      graph::PageId succ = 0;
+      if (!ReadAscendingId(reader, j == 0, prev_succ, &succ)) {
+        return BadPayload("successors not strictly ascending");
+      }
+      prev_succ = succ;
+      record.successors.push_back(succ);
+    }
+    records.push_back(std::move(record));
+  }
+  if (!reader.AtEnd()) return BadPayload("trailing bytes in score chunk");
+  out.pages.insert(out.pages.end(), std::make_move_iterator(records.begin()),
+                   std::make_move_iterator(records.end()));
+  return Status::OK();
+}
+
+Status DecodeWorldKnowledge(std::span<const uint8_t> payload, DecodedMeeting& out) {
+  ByteReader reader(payload);
+  uint32_t num_entries = 0;
+  if (!reader.GetVarint32(&num_entries)) return BadPayload("truncated world header");
+  if (num_entries > payload.size()) return BadPayload("world count exceeds payload");
+  std::vector<WorldEntryOut> entries;
+  entries.reserve(num_entries);
+  graph::PageId prev_page = 0;
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    WorldEntryOut entry;
+    if (!ReadAscendingId(reader, i == 0, prev_page, &entry.page)) {
+      return BadPayload("world pages not strictly ascending");
+    }
+    prev_page = entry.page;
+    if (!ReadScore(reader, &entry.score)) return BadPayload("invalid world score");
+    if (!reader.GetVarint32(&entry.out_degree) || entry.out_degree == 0) {
+      return BadPayload("invalid world out-degree");
+    }
+    uint32_t num_targets = 0;
+    if (!reader.GetVarint32(&num_targets) || num_targets == 0 ||
+        num_targets > entry.out_degree) {
+      return BadPayload("world target count out of range");
+    }
+    if (num_targets > payload.size()) return BadPayload("target count exceeds payload");
+    entry.targets.reserve(num_targets);
+    graph::PageId prev_target = 0;
+    for (uint32_t j = 0; j < num_targets; ++j) {
+      graph::PageId target = 0;
+      if (!ReadAscendingId(reader, j == 0, prev_target, &target)) {
+        return BadPayload("world targets not strictly ascending");
+      }
+      prev_target = target;
+      entry.targets.push_back(target);
+    }
+    entries.push_back(std::move(entry));
+  }
+  uint32_t num_dangling = 0;
+  if (!reader.GetVarint32(&num_dangling)) return BadPayload("truncated dangling header");
+  if (num_dangling > payload.size()) return BadPayload("dangling count exceeds payload");
+  std::vector<DanglingOut> dangling;
+  dangling.reserve(num_dangling);
+  prev_page = 0;
+  for (uint32_t i = 0; i < num_dangling; ++i) {
+    DanglingOut record;
+    if (!ReadAscendingId(reader, i == 0, prev_page, &record.page)) {
+      return BadPayload("dangling pages not strictly ascending");
+    }
+    prev_page = record.page;
+    if (!ReadScore(reader, &record.score)) return BadPayload("invalid dangling score");
+    dangling.push_back(record);
+  }
+  if (!reader.AtEnd()) return BadPayload("trailing bytes in world frame");
+  if (entries.empty() && dangling.empty()) {
+    return BadPayload("empty world frame");  // Empty world knowledge is not framed.
+  }
+  out.world_entries = std::move(entries);
+  out.world_dangling = std::move(dangling);
+  return Status::OK();
+}
+
+Status DecodeSynopsis(std::span<const uint8_t> payload, DecodedMeeting& out) {
+  ByteReader reader(payload);
+  uint64_t seed = 0;
+  uint32_t num_buckets = 0;
+  if (!reader.GetU64(&seed) || !reader.GetVarint32(&num_buckets)) {
+    return BadPayload("truncated synopsis header");
+  }
+  if (num_buckets == 0 || num_buckets > kMaxSynopsisBuckets) {
+    return BadPayload("synopsis bucket count out of range");
+  }
+  std::vector<uint64_t> bitmaps;
+  bitmaps.reserve(std::min<size_t>(num_buckets, payload.size()));
+  for (uint32_t i = 0; i < num_buckets; ++i) {
+    uint64_t bitmap = 0;
+    if (!reader.GetVarint64(&bitmap)) return BadPayload("truncated synopsis bitmap");
+    bitmaps.push_back(bitmap);
+  }
+  if (!reader.AtEnd()) return BadPayload("trailing bytes in synopsis frame");
+  out.has_synopsis = true;
+  out.synopsis_seed = seed;
+  out.synopsis_bitmaps = std::move(bitmaps);
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeScoreList(const graph::Subgraph& fragment, std::span<const double> scores,
+                     const EncodeOptions& options, std::vector<uint8_t>& out) {
+  JXP_CHECK_EQ(scores.size(), fragment.NumLocalPages());
+  JXP_CHECK_GT(options.pages_per_chunk, 0u);
+  const size_t start = out.size();
+  const size_t n = fragment.NumLocalPages();
+  size_t frames = 0;
+  for (size_t begin = 0; begin < n; begin += options.pages_per_chunk) {
+    const size_t end = std::min(begin + options.pages_per_chunk, n);
+    const size_t payload_start = out.size();
+    ByteWriter writer(out);
+    writer.PutVarint32(static_cast<uint32_t>(begin));
+    writer.PutVarint32(static_cast<uint32_t>(end - begin));
+    graph::PageId prev = begin == 0 ? 0 : fragment.GlobalId(
+        static_cast<graph::Subgraph::LocalIndex>(begin - 1));
+    for (size_t i = begin; i < end; ++i) {
+      const auto local = static_cast<graph::Subgraph::LocalIndex>(i);
+      const graph::PageId page = fragment.GlobalId(local);
+      if (i == 0) {
+        writer.PutVarint32(page);
+      } else {
+        // Local-index order is ascending-global-id order, by construction.
+        JXP_CHECK_GT(page, prev);
+        writer.PutVarint32(page - prev);
+      }
+      prev = page;
+      writer.PutFloat(LowerBoundFloat(scores[i]));
+      const auto successors = fragment.Successors(local);
+      writer.PutVarint32(static_cast<uint32_t>(successors.size()));
+      WriteAscendingIds(writer, successors);
+    }
+    SealFrame(MessageType::kScoreChunk, payload_start, out);
+    ++frames;
+  }
+  if (obs::Enabled()) {
+    WireMetrics& metrics = GetWireMetrics();
+    metrics.score_bytes.Increment(out.size() - start);
+    metrics.frames_encoded.Increment(frames);
+  }
+}
+
+void EncodeWorldKnowledge(std::span<const WorldEntryIn> entries,
+                          std::span<const DanglingIn> dangling,
+                          std::vector<uint8_t>& out) {
+  if (entries.empty() && dangling.empty()) return;
+  const size_t payload_start = out.size();
+  ByteWriter writer(out);
+  writer.PutVarint32(static_cast<uint32_t>(entries.size()));
+  graph::PageId prev = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const WorldEntryIn& entry = entries[i];
+    JXP_CHECK_GE(entry.out_degree, 1u);
+    JXP_CHECK_GE(entry.targets.size(), 1u);
+    JXP_CHECK_LE(entry.targets.size(), entry.out_degree);
+    if (i == 0) {
+      writer.PutVarint32(entry.page);
+    } else {
+      JXP_CHECK_GT(entry.page, prev) << "world entries must be sorted by page";
+      writer.PutVarint32(entry.page - prev);
+    }
+    prev = entry.page;
+    writer.PutFloat(LowerBoundFloat(entry.score));
+    writer.PutVarint32(entry.out_degree);
+    writer.PutVarint32(static_cast<uint32_t>(entry.targets.size()));
+    WriteAscendingIds(writer, entry.targets);
+  }
+  writer.PutVarint32(static_cast<uint32_t>(dangling.size()));
+  prev = 0;
+  for (size_t i = 0; i < dangling.size(); ++i) {
+    if (i == 0) {
+      writer.PutVarint32(dangling[i].page);
+    } else {
+      JXP_CHECK_GT(dangling[i].page, prev) << "dangling records must be sorted";
+      writer.PutVarint32(dangling[i].page - prev);
+    }
+    prev = dangling[i].page;
+    writer.PutFloat(LowerBoundFloat(dangling[i].score));
+  }
+  SealFrame(MessageType::kWorldKnowledge, payload_start, out);
+  if (obs::Enabled()) {
+    WireMetrics& metrics = GetWireMetrics();
+    metrics.world_bytes.Increment(out.size() - payload_start);
+    metrics.frames_encoded.Increment();
+  }
+}
+
+void EncodeSynopsis(const synopses::HashSketch& sketch, std::vector<uint8_t>& out) {
+  const size_t payload_start = out.size();
+  ByteWriter writer(out);
+  writer.PutU64(sketch.seed());
+  writer.PutVarint32(static_cast<uint32_t>(sketch.num_buckets()));
+  for (uint64_t bitmap : sketch.bitmaps()) writer.PutVarint64(bitmap);
+  SealFrame(MessageType::kSynopsis, payload_start, out);
+  if (obs::Enabled()) {
+    WireMetrics& metrics = GetWireMetrics();
+    metrics.synopsis_bytes.Increment(out.size() - payload_start);
+    metrics.frames_encoded.Increment();
+  }
+}
+
+DecodedMeeting DecodeMeeting(std::span<const uint8_t> data) {
+  DecodedMeeting result;
+  // Frames arrive in a fixed section order (score chunks, then world, then
+  // synopsis); a frame of an earlier section after a later one is corrupt.
+  MessageType last_section = MessageType::kScoreChunk;
+  bool seen_world = false;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    FrameView frame;
+    Status status = ParseFrame(data, offset, frame);
+    if (status.ok()) {
+      switch (frame.type) {
+        case MessageType::kScoreChunk:
+          status = last_section != MessageType::kScoreChunk
+                       ? BadPayload("score chunk after later section")
+                       : DecodeScoreChunk(frame.payload, result);
+          break;
+        case MessageType::kWorldKnowledge:
+          status = (seen_world || last_section == MessageType::kSynopsis)
+                       ? BadPayload("duplicate or misplaced world frame")
+                       : DecodeWorldKnowledge(frame.payload, result);
+          seen_world = seen_world || status.ok();
+          break;
+        case MessageType::kSynopsis:
+          status = result.has_synopsis ? BadPayload("duplicate synopsis frame")
+                                       : DecodeSynopsis(frame.payload, result);
+          break;
+      }
+    }
+    if (!status.ok()) {
+      // Frame boundaries past a bad frame cannot be trusted (the length
+      // field itself may be the corrupted byte), so decoding stops here.
+      result.error = status;
+      break;
+    }
+    last_section = frame.type;
+    ++result.frames_decoded;
+    result.bytes_consumed = offset;
+  }
+  if (obs::Enabled()) {
+    WireMetrics& metrics = GetWireMetrics();
+    metrics.frames_decoded.Increment(result.frames_decoded);
+    metrics.decoded_bytes.Increment(result.bytes_consumed);
+    if (!result.error.ok()) metrics.frames_rejected.Increment();
+  }
+  return result;
+}
+
+Status DecodeMeetingStrict(std::span<const uint8_t> data, DecodedMeeting* out) {
+  DecodedMeeting result = DecodeMeeting(data);
+  if (!result.error.ok()) return result.error;
+  *out = std::move(result);
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace jxp

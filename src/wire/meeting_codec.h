@@ -1,0 +1,120 @@
+#ifndef JXP_WIRE_MEETING_CODEC_H_
+#define JXP_WIRE_MEETING_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/subgraph.h"
+#include "synopses/hash_sketch.h"
+#include "wire/wire_format.h"
+
+namespace jxp {
+namespace wire {
+
+/// Encode/Decode pairs for the three meeting payload types (DESIGN.md §6g).
+/// This layer speaks graph/synopses vocabulary only; the core layer bridges
+/// WorldNode and PeerView to/from the plain records here (core depends on
+/// wire, never the reverse).
+
+/// Encoder options.
+struct EncodeOptions {
+  /// Page-table records per kScoreChunk frame. Smaller chunks lose less to
+  /// a torn transfer but pay 16 header bytes each; 64 keeps the overhead
+  /// at a fraction of a byte per page.
+  size_t pages_per_chunk = 64;
+};
+
+/// One world-node entry as shipped on the wire (encode side: target list
+/// viewed in place, sorted unique ascending as WorldNode stores it).
+struct WorldEntryIn {
+  graph::PageId page = 0;
+  uint32_t out_degree = 0;
+  double score = 0;
+  std::span<const graph::PageId> targets;
+};
+
+/// Encode-side dangling-page record.
+struct DanglingIn {
+  graph::PageId page = 0;
+  double score = 0;
+};
+
+/// Decode-side page-table record. `score` is the sender's score after the
+/// wire's round-down float quantization.
+struct ScoreListPage {
+  graph::PageId page = 0;
+  float score = 0;
+  std::vector<graph::PageId> successors;
+};
+
+/// Decode-side world-node entry.
+struct WorldEntryOut {
+  graph::PageId page = 0;
+  uint32_t out_degree = 0;
+  float score = 0;
+  std::vector<graph::PageId> targets;
+};
+
+/// Decode-side dangling-page record.
+struct DanglingOut {
+  graph::PageId page = 0;
+  float score = 0;
+};
+
+/// Everything the decoder recovered from the (possibly truncated or
+/// corrupted) byte stream of one meeting message.
+struct DecodedMeeting {
+  /// Page-table records, in the sender's local-index order (== ascending
+  /// page id). May be a prefix of the sender's table when the stream was
+  /// cut or a later chunk was rejected.
+  std::vector<ScoreListPage> pages;
+  /// World knowledge; empty when the world frame was absent, lost, or the
+  /// sender's world node was empty (an empty world node is not framed).
+  std::vector<WorldEntryOut> world_entries;
+  std::vector<DanglingOut> world_dangling;
+  /// Page sketch; present iff a synopsis frame arrived intact.
+  bool has_synopsis = false;
+  uint64_t synopsis_seed = 0;
+  std::vector<uint64_t> synopsis_bitmaps;
+  /// Bytes of fully-decoded frames (what the receiver actually consumed).
+  size_t bytes_consumed = 0;
+  size_t frames_decoded = 0;
+  /// Why decoding stopped early; OK when the whole buffer decoded. At most
+  /// one frame is rejected — everything after a bad frame is undecodable
+  /// (frame boundaries cannot be trusted past a corrupt length field).
+  Status error = Status::OK();
+};
+
+/// Appends the page-table frames (kScoreChunk) for `fragment` + `scores`
+/// (by local index) to `out`.
+void EncodeScoreList(const graph::Subgraph& fragment, std::span<const double> scores,
+                     const EncodeOptions& options, std::vector<uint8_t>& out);
+
+/// Appends one kWorldKnowledge frame. `entries` and `dangling` must be
+/// sorted by page id ascending (strictly); entries need out_degree >= 1 and
+/// 1 <= |targets| <= out_degree. Appends nothing when both are empty.
+void EncodeWorldKnowledge(std::span<const WorldEntryIn> entries,
+                          std::span<const DanglingIn> dangling,
+                          std::vector<uint8_t>& out);
+
+/// Appends one kSynopsis frame.
+void EncodeSynopsis(const synopses::HashSketch& sketch, std::vector<uint8_t>& out);
+
+/// Decodes the longest valid frame prefix of `data` (the fault-tolerant
+/// entry point: a truncated or bit-flipped transfer yields the intact
+/// prefix plus a non-OK `error`). Strict per-frame validation: out-of-range
+/// counts, non-finite or negative scores, non-ascending ids, duplicate or
+/// out-of-order frames all reject the frame.
+DecodedMeeting DecodeMeeting(std::span<const uint8_t> data);
+
+/// Strict whole-message decode for round-trip tests and future transports:
+/// any rejected frame or trailing garbage is an error and `out` is left in
+/// an unspecified state.
+Status DecodeMeetingStrict(std::span<const uint8_t> data, DecodedMeeting* out);
+
+}  // namespace wire
+}  // namespace jxp
+
+#endif  // JXP_WIRE_MEETING_CODEC_H_

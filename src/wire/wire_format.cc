@@ -1,0 +1,140 @@
+#include "wire/wire_format.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace jxp {
+namespace wire {
+
+namespace {
+
+/// The frame checksum: common FNV-1a/Mix64 over the 8 pre-checksum header
+/// bytes plus the payload.
+uint64_t FrameChecksum(const uint8_t* header8, std::span<const uint8_t> payload) {
+  std::string buffer;
+  buffer.reserve(kChecksumOffset + payload.size());
+  buffer.append(reinterpret_cast<const char*>(header8), kChecksumOffset);
+  buffer.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+  return HashString(buffer);
+}
+
+bool ValidType(uint8_t type) {
+  return type == static_cast<uint8_t>(MessageType::kScoreChunk) ||
+         type == static_cast<uint8_t>(MessageType::kWorldKnowledge) ||
+         type == static_cast<uint8_t>(MessageType::kSynopsis);
+}
+
+void WriteHeader(MessageType type, std::span<const uint8_t> payload, uint8_t* header) {
+  header[0] = kMagic0;
+  header[1] = kMagic1;
+  header[2] = kVersion;
+  header[3] = static_cast<uint8_t>(type);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[4 + i] = static_cast<uint8_t>(len >> (8 * i));
+  const uint64_t checksum = FrameChecksum(header, payload);
+  for (int i = 0; i < 8; ++i) {
+    header[kChecksumOffset + i] = static_cast<uint8_t>(checksum >> (8 * i));
+  }
+}
+
+}  // namespace
+
+bool ByteReader::GetVarint32(uint32_t* v) {
+  uint64_t wide = 0;
+  const size_t saved = pos_;
+  if (!GetVarint64(&wide) || wide > 0xffffffffull) {
+    pos_ = saved;
+    return false;
+  }
+  *v = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool ByteReader::GetVarint64(uint64_t* v) {
+  const size_t saved = pos_;
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= data_.size()) {
+      pos_ = saved;
+      return false;
+    }
+    const uint8_t byte = data_[pos_++];
+    const uint64_t bits = byte & 0x7fu;
+    // The 10th byte may only carry the final bit of a 64-bit value.
+    if (shift == 63 && bits > 1) {
+      pos_ = saved;
+      return false;
+    }
+    value |= bits << shift;
+    if ((byte & 0x80u) == 0) {
+      *v = value;
+      return true;
+    }
+  }
+  pos_ = saved;
+  return false;
+}
+
+void AppendFrame(MessageType type, std::span<const uint8_t> payload,
+                 std::vector<uint8_t>& out) {
+  uint8_t header[kFrameHeaderBytes];
+  WriteHeader(type, payload, header);
+  out.insert(out.end(), header, header + kFrameHeaderBytes);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void SealFrame(MessageType type, size_t payload_start, std::vector<uint8_t>& out) {
+  JXP_CHECK_LE(payload_start, out.size());
+  uint8_t header[kFrameHeaderBytes];
+  // The header depends only on the payload bytes, which insert() may move;
+  // compute it first, from the payload at its pre-insert location.
+  WriteHeader(type,
+              std::span<const uint8_t>(out.data() + payload_start,
+                                       out.size() - payload_start),
+              header);
+  out.insert(out.begin() + static_cast<ptrdiff_t>(payload_start), header,
+             header + kFrameHeaderBytes);
+}
+
+Status ParseFrame(std::span<const uint8_t> data, size_t& offset, FrameView& frame) {
+  if (offset > data.size()) return Status::OutOfRange("frame offset past buffer");
+  const size_t available = data.size() - offset;
+  if (available < kFrameHeaderBytes) {
+    return Status::Corruption("truncated frame header (" + std::to_string(available) +
+                              " of " + std::to_string(kFrameHeaderBytes) + " bytes)");
+  }
+  const uint8_t* header = data.data() + offset;
+  if (header[0] != kMagic0 || header[1] != kMagic1) {
+    return Status::Corruption("bad frame magic");
+  }
+  if (header[2] != kVersion) {
+    return Status::Corruption("unsupported wire version " + std::to_string(header[2]));
+  }
+  if (!ValidType(header[3])) {
+    return Status::Corruption("unknown message type " + std::to_string(header[3]));
+  }
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+  }
+  if (payload_len > available - kFrameHeaderBytes) {
+    return Status::Corruption("frame payload runs past buffer (" +
+                              std::to_string(payload_len) + " > " +
+                              std::to_string(available - kFrameHeaderBytes) + ")");
+  }
+  uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<uint64_t>(header[kChecksumOffset + i]) << (8 * i);
+  }
+  const std::span<const uint8_t> payload(header + kFrameHeaderBytes, payload_len);
+  if (stored != FrameChecksum(header, payload)) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  frame.type = static_cast<MessageType>(header[3]);
+  frame.payload = payload;
+  offset += kFrameHeaderBytes + payload_len;
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace jxp

@@ -1,0 +1,266 @@
+#include "core/meeting_wire.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/jxp_peer.h"
+#include "core/simulation.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+#include "p2p/faults.h"
+
+namespace jxp {
+namespace core {
+namespace {
+
+/// A realistic graph + two overlapping fragments of >= 32 pages each (the
+/// regime the wire format is designed for; tiny fragments can lose to the
+/// analytic model on frame-header overhead alone).
+struct TwoPeerWorld {
+  graph::Graph graph;
+  std::vector<graph::PageId> pages_a;
+  std::vector<graph::PageId> pages_b;
+};
+
+TwoPeerWorld MakeWorld(uint64_t seed) {
+  TwoPeerWorld world;
+  Random rng(seed);
+  world.graph = graph::BarabasiAlbert(300, 3, rng);
+  for (graph::PageId p = 0; p < 180; ++p) world.pages_a.push_back(p);
+  for (graph::PageId p = 120; p < 300; ++p) world.pages_b.push_back(p);
+  return world;
+}
+
+JxpOptions WireOptions(MeetingWireMode mode) {
+  JxpOptions options;
+  options.pr_tolerance = 1e-12;
+  options.pr_max_iterations = 500;
+  options.wire_mode = mode;
+  return options;
+}
+
+TEST(MeetingWireTest, MessageRoundTripsThroughTheCodec) {
+  const TwoPeerWorld world = MakeWorld(11);
+  const JxpOptions options = WireOptions(MeetingWireMode::kEstimated);
+  JxpPeer a(0, graph::Subgraph::Induce(world.graph, world.pages_a),
+            world.graph.NumNodes(), options);
+  JxpPeer b(1, graph::Subgraph::Induce(world.graph, world.pages_b),
+            world.graph.NumNodes(), options);
+  JxpPeer::Meet(a, b);  // Populate a's world node with real knowledge.
+  ASSERT_GT(a.world_node().NumEntries(), 0u);
+
+  const std::vector<uint8_t> bytes = EncodeMeetingMessage(
+      a.fragment(), a.local_scores(), a.world_node(), &a.page_sketch());
+  const DecodedMeetingMessage decoded = DecodeMeetingMessage(bytes);
+  ASSERT_TRUE(decoded.error.ok()) << decoded.error.ToString();
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+
+  ASSERT_NE(decoded.fragment, nullptr);
+  ASSERT_EQ(decoded.fragment->NumLocalPages(), a.fragment().NumLocalPages());
+  ASSERT_EQ(decoded.scores.size(), a.local_scores().size());
+  for (size_t i = 0; i < decoded.scores.size(); ++i) {
+    const auto local = static_cast<graph::Subgraph::LocalIndex>(i);
+    EXPECT_EQ(decoded.fragment->GlobalId(local), a.fragment().GlobalId(local));
+    const auto expected = a.fragment().Successors(local);
+    const auto got = decoded.fragment->Successors(local);
+    ASSERT_EQ(got.size(), expected.size());
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()));
+    // Quantization rounds down, never up (Theorem 5.3 safety).
+    EXPECT_LE(decoded.scores[i], a.local_scores()[i]);
+    EXPECT_NEAR(decoded.scores[i], a.local_scores()[i],
+                a.local_scores()[i] * 1e-6 + 1e-30);
+  }
+
+  EXPECT_EQ(decoded.world.NumEntries(), a.world_node().NumEntries());
+  EXPECT_EQ(decoded.world.NumLinks(), a.world_node().NumLinks());
+  for (const auto& [page, info] : a.world_node().entries()) {
+    const ExternalPageInfo* got = decoded.world.Find(page);
+    ASSERT_NE(got, nullptr) << "world entry " << page;
+    EXPECT_EQ(got->out_degree, info.out_degree);
+    EXPECT_EQ(got->targets, info.targets);
+    EXPECT_LE(got->score, info.score);
+  }
+
+  ASSERT_NE(decoded.sketch, nullptr);
+  EXPECT_EQ(decoded.sketch->seed(), a.page_sketch().seed());
+  ASSERT_EQ(decoded.sketch->num_buckets(), a.page_sketch().num_buckets());
+  EXPECT_TRUE(std::equal(a.page_sketch().bitmaps().begin(),
+                         a.page_sketch().bitmaps().end(),
+                         decoded.sketch->bitmaps().begin()));
+}
+
+TEST(MeetingWireTest, MeasuredMeetingMatchesEstimatedScoresClosely) {
+  const TwoPeerWorld world = MakeWorld(23);
+  const JxpOptions estimated = WireOptions(MeetingWireMode::kEstimated);
+  const JxpOptions measured = WireOptions(MeetingWireMode::kMeasured);
+  const size_t n = world.graph.NumNodes();
+
+  JxpPeer ae(0, graph::Subgraph::Induce(world.graph, world.pages_a), n, estimated);
+  JxpPeer be(1, graph::Subgraph::Induce(world.graph, world.pages_b), n, estimated);
+  JxpPeer am(0, graph::Subgraph::Induce(world.graph, world.pages_a), n, measured);
+  JxpPeer bm(1, graph::Subgraph::Induce(world.graph, world.pages_b), n, measured);
+
+  for (int round = 0; round < 3; ++round) {
+    JxpPeer::Meet(ae, be);
+    JxpPeer::Meet(am, bm);
+  }
+  // The only difference is the wire's float quantization of scores, so the
+  // two runs agree to float precision.
+  EXPECT_NEAR(am.world_score(), ae.world_score(), 1e-5);
+  for (size_t i = 0; i < ae.local_scores().size(); ++i) {
+    EXPECT_NEAR(am.local_scores()[i], ae.local_scores()[i], 1e-6) << "page " << i;
+  }
+}
+
+TEST(MeetingWireTest, MeasuredBytesStayBelowAnalyticEstimate) {
+  const TwoPeerWorld world = MakeWorld(37);
+  const JxpOptions options = WireOptions(MeetingWireMode::kMeasured);
+  const size_t n = world.graph.NumNodes();
+  JxpPeer a(0, graph::Subgraph::Induce(world.graph, world.pages_a), n, options);
+  JxpPeer b(1, graph::Subgraph::Induce(world.graph, world.pages_b), n, options);
+
+  for (int round = 0; round < 3; ++round) {
+    const MeetingOutcome outcome = JxpPeer::Meet(a, b);
+    EXPECT_GT(outcome.bytes_sent_initiator, 0.0);
+    EXPECT_GT(outcome.bytes_sent_partner, 0.0);
+    // Delta + VByte + float quantization must beat the analytic 8-bytes-per
+    // id model at realistic fragment sizes.
+    EXPECT_LT(outcome.bytes_sent_initiator, outcome.estimated_bytes_initiator);
+    EXPECT_LT(outcome.bytes_sent_partner, outcome.estimated_bytes_partner);
+    EXPECT_LT(outcome.wire_bytes, outcome.estimated_wire_bytes);
+    EXPECT_DOUBLE_EQ(outcome.wire_bytes,
+                     outcome.bytes_sent_initiator + outcome.bytes_sent_partner);
+  }
+}
+
+TEST(MeetingWireTest, EstimatedModeReportsIdenticalMeasuredAndEstimatedBytes) {
+  const TwoPeerWorld world = MakeWorld(41);
+  const JxpOptions options = WireOptions(MeetingWireMode::kEstimated);
+  const size_t n = world.graph.NumNodes();
+  JxpPeer a(0, graph::Subgraph::Induce(world.graph, world.pages_a), n, options);
+  JxpPeer b(1, graph::Subgraph::Induce(world.graph, world.pages_b), n, options);
+  const MeetingOutcome outcome = JxpPeer::Meet(a, b);
+  EXPECT_DOUBLE_EQ(outcome.estimated_bytes_initiator, outcome.bytes_sent_initiator);
+  EXPECT_DOUBLE_EQ(outcome.estimated_bytes_partner, outcome.bytes_sent_partner);
+  EXPECT_DOUBLE_EQ(outcome.estimated_wire_bytes, outcome.wire_bytes);
+}
+
+TEST(MeetingWireTest, DroppedMessageSuppressesOneSide) {
+  const TwoPeerWorld world = MakeWorld(53);
+  const JxpOptions options = WireOptions(MeetingWireMode::kMeasured);
+  const size_t n = world.graph.NumNodes();
+  JxpPeer a(0, graph::Subgraph::Induce(world.graph, world.pages_a), n, options);
+  JxpPeer b(1, graph::Subgraph::Induce(world.graph, world.pages_b), n, options);
+
+  p2p::MeetingFaultDecision faults;
+  faults.drop_to_initiator = true;
+  const MeetingOutcome outcome = JxpPeer::Meet(a, b, faults);
+  EXPECT_FALSE(outcome.applied_initiator);
+  EXPECT_TRUE(outcome.applied_partner);
+  EXPECT_EQ(a.num_meetings(), 0u);
+  EXPECT_EQ(b.num_meetings(), 1u);
+  // The partner's whole message was wasted.
+  EXPECT_DOUBLE_EQ(outcome.wasted_bytes_partner, outcome.bytes_sent_partner);
+}
+
+TEST(MeetingWireTest, BitCorruptionSalvagesPrefixOrDegeneratesToDrop) {
+  const TwoPeerWorld world = MakeWorld(67);
+  const JxpOptions options = WireOptions(MeetingWireMode::kMeasured);
+  const size_t n = world.graph.NumNodes();
+
+  for (const double offset : {0.0, 0.5, 0.95}) {
+    JxpPeer a(0, graph::Subgraph::Induce(world.graph, world.pages_a), n, options);
+    JxpPeer b(1, graph::Subgraph::Induce(world.graph, world.pages_b), n, options);
+    p2p::MeetingFaultDecision faults;
+    faults.corrupt_to_initiator = true;
+    faults.corrupt_offset_to_initiator = offset;
+    faults.corrupt_bit_to_initiator = 3;
+    const MeetingOutcome outcome = JxpPeer::Meet(a, b, faults);
+
+    // The damage is detected, never applied wholesale: either the initiator
+    // salvaged a decodable prefix (some of the partner's bytes were wasted)
+    // or nothing usable arrived (degenerate drop).
+    if (outcome.applied_initiator) {
+      EXPECT_GT(outcome.wasted_bytes_partner, 0.0) << "offset " << offset;
+      EXPECT_LT(outcome.wasted_bytes_partner, outcome.bytes_sent_partner);
+    } else {
+      EXPECT_DOUBLE_EQ(outcome.wasted_bytes_partner, outcome.bytes_sent_partner);
+      EXPECT_EQ(a.num_meetings(), 0u);
+    }
+    // Safety: scores stay a sub-distribution on both sides.
+    for (const JxpPeer* peer : {&a, &b}) {
+      double total = peer->world_score();
+      for (double s : peer->local_scores()) {
+        EXPECT_GE(s, 0.0);
+        total += s;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-6);
+    }
+  }
+}
+
+TEST(MeetingWireTest, SimulationAccountsMeasuredAndEstimatedTraffic) {
+  Random rng(71);
+  const graph::Graph g = graph::BarabasiAlbert(240, 3, rng);
+  std::vector<std::vector<graph::PageId>> fragments(4);
+  for (graph::PageId p = 0; p < g.NumNodes(); ++p) {
+    fragments[p % 4].push_back(p);
+    fragments[(p + 1) % 4].push_back(p);  // 2x overlap.
+  }
+
+  SimulationConfig config;
+  config.jxp = WireOptions(MeetingWireMode::kMeasured);
+  config.seed = 5;
+  config.eval_top_k = 50;
+  JxpSimulation sim(g, fragments, config);
+  sim.RunMeetings(20);
+
+  const double measured = sim.network().TotalTrafficBytes();
+  const double estimated = sim.total_estimated_traffic_bytes();
+  EXPECT_GT(measured, 0.0);
+  EXPECT_GT(estimated, 0.0);
+  EXPECT_LT(measured, estimated);
+
+  // In estimated mode the two totals coincide exactly.
+  SimulationConfig est_config = config;
+  est_config.jxp.wire_mode = MeetingWireMode::kEstimated;
+  JxpSimulation est_sim(g, fragments, est_config);
+  est_sim.RunMeetings(20);
+  EXPECT_DOUBLE_EQ(est_sim.total_estimated_traffic_bytes(),
+                   est_sim.network().TotalTrafficBytes());
+}
+
+TEST(MeetingWireTest, SimulationWithCorruptionFaultsStaysSafe) {
+  Random rng(73);
+  const graph::Graph g = graph::BarabasiAlbert(200, 3, rng);
+  std::vector<std::vector<graph::PageId>> fragments(4);
+  for (graph::PageId p = 0; p < g.NumNodes(); ++p) fragments[p % 4].push_back(p);
+
+  SimulationConfig config;
+  config.jxp = WireOptions(MeetingWireMode::kMeasured);
+  config.seed = 9;
+  config.eval_top_k = 50;
+  config.faults.corruption_probability = 0.5;
+  config.faults.message_drop_probability = 0.1;
+  JxpSimulation sim(g, fragments, config);
+  sim.RunMeetings(40);
+
+  ASSERT_NE(sim.fault_stats(), nullptr);
+  EXPECT_GT(sim.fault_stats()->corruptions, 0u);
+  for (const JxpPeer& peer : sim.peers()) {
+    double total = peer.world_score();
+    for (double s : peer.local_scores()) {
+      EXPECT_GE(s, 0.0);
+      total += s;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jxp
