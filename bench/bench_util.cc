@@ -89,6 +89,8 @@ BenchConfig BenchConfig::FromFlags(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("topk", static_cast<int64_t>(config.top_k)));
   config.queries =
       static_cast<size_t>(flags.GetInt("queries", static_cast<int64_t>(config.queries)));
+  config.zipf_s = flags.GetDouble("zipf_s", config.zipf_s);
+  config.zipf_s = flags.GetDouble("zipf-s", config.zipf_s);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int64_t>(config.seed)));
   config.metrics_out = flags.GetString("metrics_out", config.metrics_out);
   config.metrics_out = flags.GetString("metrics-out", config.metrics_out);

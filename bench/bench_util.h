@@ -29,6 +29,11 @@ struct BenchConfig {
   size_t top_k = 1000;
   /// Query batch size of the query-serving benches (--queries=N).
   size_t queries = 200;
+  /// Zipf exponent of the repeated-query trace of micro_query_throughput
+  /// (--zipf_s / --zipf-s): the i-th distinct query of the pool is drawn
+  /// with probability proportional to 1/(i+1)^zipf_s, the skew real web
+  /// query logs show and the regime the serving-tier caches exist for.
+  double zipf_s = 1.0;
   uint64_t seed = 7;
   /// Telemetry output: when non-empty, a JSON-lines trace sink is installed
   /// at this path (spans, events, and — at exit — a metrics snapshot).

@@ -1,0 +1,116 @@
+#ifndef JXP_QP_BITPACK_H_
+#define JXP_QP_BITPACK_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+
+namespace jxp {
+namespace qp {
+
+/// Fixed-width bit packing for the kPacked block codec (DESIGN.md §6h): every
+/// value of a block occupies exactly `width` bits, little-endian within the
+/// byte stream, so lane i lives at bit offset i*width. Fixed lanes are what
+/// makes decoding SIMD-friendly: each value is one unaligned 64-bit load, a
+/// shift, and a mask, with no data-dependent branches — the loop unrolls and
+/// auto-vectorizes, unlike VByte's per-byte continuation-bit test.
+
+/// Bits needed to represent `v` (>= 1 even for 0, so a width byte is never 0
+/// — the codec reserves width 0 as its per-block VByte-fallback marker).
+inline uint32_t BitWidth32(uint32_t v) {
+  uint32_t bits = 1;
+  while (v >>= 1) ++bits;
+  return bits;
+}
+
+/// Appends `count` values at `width` bits each to `out` (ceil(count*width/8)
+/// bytes). Every value must fit in `width` bits.
+inline void PackBits(const uint32_t* values, size_t count, uint32_t width,
+                     std::vector<uint8_t>& out) {
+  JXP_CHECK_GE(width, 1u);
+  JXP_CHECK_LE(width, 32u);
+  const size_t begin = out.size();
+  out.resize(begin + (count * width + 7) / 8, 0);
+  uint8_t* base = out.data() + begin;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t v = values[i];
+    JXP_CHECK(width == 32 || v < (uint64_t{1} << width));
+    const size_t bit = i * width;
+    size_t byte = bit >> 3;
+    uint32_t used = static_cast<uint32_t>(bit & 7);
+    uint64_t acc = v << used;
+    uint32_t pending = used + width;
+    while (pending > 0) {
+      base[byte++] |= static_cast<uint8_t>(acc);
+      acc >>= 8;
+      pending = pending > 8 ? pending - 8 : 0;
+    }
+  }
+}
+
+/// Decodes `count` values of `width` bits starting at `data[byte_offset]`
+/// into `out`. `readable` is the number of bytes that may be *loaded* (the
+/// whole backing buffer), which can exceed the packed area itself: the fast
+/// path reads an unaligned 64-bit window per value and masks the excess, so
+/// mid-buffer areas decode branch-free and only the last few values of the
+/// buffer drop to the byte-at-a-time scalar tail. Returns false when the
+/// packed area itself (ceil(count*width/8) bytes) does not fit in
+/// `readable` — truncated input is an error, never an out-of-bounds read.
+inline bool UnpackBits(const uint8_t* data, size_t readable, size_t byte_offset,
+                       size_t count, uint32_t width, uint32_t* out) {
+  if (width < 1 || width > 32) return false;
+  const size_t total_bytes = (count * width + 7) / 8;
+  if (byte_offset > readable || total_bytes > readable - byte_offset) return false;
+  const uint8_t* base = data + byte_offset;
+  const uint64_t mask = width == 32 ? ~uint64_t{0} >> 32 : (uint64_t{1} << width) - 1;
+  // A value starting at bit b needs bytes [b/8, b/8 + 8) loadable: widths
+  // <= 32 plus a bit phase <= 7 always fit in one 64-bit window.
+  size_t i = 0;
+  if (readable - byte_offset >= 8) {
+    const size_t wide_bytes = readable - byte_offset - 8;
+    size_t wide = count;
+    while (wide > 0 && ((wide - 1) * width) / 8 > wide_bytes) --wide;
+    size_t k = 0;
+    for (; k + 4 <= wide; k += 4) {
+      const size_t bit = k * width;
+      uint64_t w0, w1, w2, w3;
+      std::memcpy(&w0, base + ((bit + 0 * width) >> 3), 8);
+      std::memcpy(&w1, base + ((bit + 1 * width) >> 3), 8);
+      std::memcpy(&w2, base + ((bit + 2 * width) >> 3), 8);
+      std::memcpy(&w3, base + ((bit + 3 * width) >> 3), 8);
+      out[k + 0] = static_cast<uint32_t>((w0 >> ((bit + 0 * width) & 7)) & mask);
+      out[k + 1] = static_cast<uint32_t>((w1 >> ((bit + 1 * width) & 7)) & mask);
+      out[k + 2] = static_cast<uint32_t>((w2 >> ((bit + 2 * width) & 7)) & mask);
+      out[k + 3] = static_cast<uint32_t>((w3 >> ((bit + 3 * width) & 7)) & mask);
+    }
+    for (; k < wide; ++k) {
+      const size_t bit = k * width;
+      uint64_t window;
+      std::memcpy(&window, base + (bit >> 3), 8);
+      out[k] = static_cast<uint32_t>((window >> (bit & 7)) & mask);
+    }
+    i = wide;
+  }
+  // Scalar tail: assemble byte by byte, never loading past `readable`.
+  for (; i < count; ++i) {
+    const size_t bit = i * width;
+    uint64_t acc = 0;
+    uint32_t got = 0;
+    size_t byte = bit >> 3;
+    const uint32_t phase = static_cast<uint32_t>(bit & 7);
+    while (got < phase + width) {
+      acc |= static_cast<uint64_t>(base[byte]) << got;
+      ++byte;
+      got += 8;
+    }
+    out[i] = static_cast<uint32_t>((acc >> phase) & mask);
+  }
+  return true;
+}
+
+}  // namespace qp
+}  // namespace jxp
+
+#endif  // JXP_QP_BITPACK_H_

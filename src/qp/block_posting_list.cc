@@ -2,17 +2,82 @@
 
 #include <algorithm>
 
+#include "qp/bitpack.h"
+
 namespace jxp {
 namespace qp {
 
+const char* BlockCodecName(BlockCodec codec) {
+  switch (codec) {
+    case BlockCodec::kVByte:
+      return "vbyte";
+    case BlockCodec::kPacked:
+      return "packed";
+  }
+  return "unknown";
+}
+
+void BlockPostingList::AppendArea(const std::vector<uint32_t>& values) {
+  if (codec_ == BlockCodec::kVByte) {
+    for (uint32_t v : values) VByteEncode(v, bytes_);
+    return;
+  }
+  // kPacked: one width byte, then either fixed-width lanes or (width 0) the
+  // VByte fallback — whichever encodes this area smaller. The choice is a
+  // pure function of the values, so the layout stays deterministic.
+  uint32_t width = 1;
+  for (uint32_t v : values) width = std::max(width, BitWidth32(v));
+  const size_t packed_bytes = (values.size() * width + 7) / 8;
+  std::vector<uint8_t> vbyte;
+  for (uint32_t v : values) VByteEncode(v, vbyte);
+  if (vbyte.size() < packed_bytes) {
+    bytes_.push_back(0);
+    bytes_.insert(bytes_.end(), vbyte.begin(), vbyte.end());
+  } else {
+    bytes_.push_back(static_cast<uint8_t>(width));
+    PackBits(values.data(), values.size(), width, bytes_);
+  }
+}
+
+void BlockPostingList::DecodeArea(size_t begin, size_t end, uint32_t count,
+                                  uint32_t* out) const {
+  const uint8_t* data = bytes_.data();
+  const size_t size = bytes_.size();
+  if (codec_ == BlockCodec::kVByte) {
+    size_t offset = begin;
+    JXP_CHECK(VByteDecodeArray32(data, size, offset, count, out))
+        << "truncated VByte block area";
+    JXP_CHECK_LE(offset, end);
+    return;
+  }
+  JXP_CHECK_LT(begin, end);
+  const uint8_t width = data[begin];
+  if (width == 0) {
+    size_t offset = begin + 1;
+    JXP_CHECK(VByteDecodeArray32(data, size, offset, count, out))
+        << "truncated VByte-fallback block area";
+    JXP_CHECK_LE(offset, end);
+    return;
+  }
+  // The packed area must fit its declared span; wide loads may read past
+  // `end` into the following area but never past the buffer (UnpackBits
+  // masks the excess bits and bounds every load by `size`).
+  JXP_CHECK_LE(begin + 1 + (static_cast<size_t>(count) * width + 7) / 8, end);
+  JXP_CHECK(UnpackBits(data, size, begin + 1, count, width, out))
+      << "truncated packed block area";
+}
+
 BlockPostingList BlockPostingList::Build(std::span<const PostingIn> postings,
-                                         size_t block_size) {
+                                         size_t block_size, BlockCodec codec) {
   JXP_CHECK_GT(block_size, 0u);
   BlockPostingList list;
+  list.codec_ = codec;
   list.num_postings_ = postings.size();
   if (postings.empty()) return list;
 
   list.blocks_.reserve((postings.size() + block_size - 1) / block_size);
+  std::vector<uint32_t> deltas;
+  std::vector<uint32_t> freqs;
   for (size_t begin = 0; begin < postings.size(); begin += block_size) {
     const size_t end = std::min(begin + block_size, postings.size());
     BlockMeta meta;
@@ -21,6 +86,8 @@ BlockPostingList BlockPostingList::Build(std::span<const PostingIn> postings,
     double max_impact = 0;
     double max_prior = 0;
     uint32_t prev = list.BaseDocid(list.blocks_.size());
+    deltas.clear();
+    freqs.clear();
     for (size_t i = begin; i < end; ++i) {
       const PostingIn& posting = postings[i];
       JXP_CHECK_LT(posting.docid, kEndDocid);
@@ -30,14 +97,16 @@ BlockPostingList BlockPostingList::Build(std::span<const PostingIn> postings,
       if (i > 0) {
         JXP_CHECK_LT(postings[i - 1].docid, posting.docid);
       }
-      VByteEncode(posting.docid - prev, list.bytes_);
+      deltas.push_back(posting.docid - prev);
+      freqs.push_back(posting.tf);
       prev = posting.docid;
       max_impact = std::max(max_impact, posting.impact);
       max_prior = std::max(max_prior, posting.prior);
     }
+    list.AppendArea(deltas);
     meta.last_docid = prev;
     meta.freq_begin = static_cast<uint32_t>(list.bytes_.size());
-    for (size_t i = begin; i < end; ++i) VByteEncode(postings[i].tf, list.bytes_);
+    list.AppendArea(freqs);
     meta.max_impact = UpperBoundAsFloat(max_impact);
     meta.max_prior = UpperBoundAsFloat(max_prior);
     list.max_impact_ = std::max(list.max_impact_, meta.max_impact);
@@ -51,10 +120,12 @@ BlockPostingList BlockPostingList::Build(std::span<const PostingIn> postings,
 void BlockPostingList::Cursor::DecodeDocids() {
   const BlockMeta& meta = list_->blocks_[block_];
   docids_.resize(meta.count);
-  size_t offset = meta.docid_begin;
+  list_->DecodeArea(meta.docid_begin, meta.freq_begin, meta.count, docids_.data());
+  // Deltas -> absolute docids. The prefix sum stays a separate scalar pass
+  // so the decode loop above remains branch-free and vectorizable.
   uint32_t prev = list_->BaseDocid(block_);
   for (uint32_t i = 0; i < meta.count; ++i) {
-    prev += VByteDecode(list_->bytes_.data(), offset);
+    prev += docids_[i];
     docids_[i] = prev;
   }
   docids_decoded_ = true;
@@ -71,10 +142,8 @@ uint32_t BlockPostingList::Cursor::freq() {
   if (!freqs_decoded_) {
     const BlockMeta& meta = list_->blocks_[block_];
     freqs_.resize(meta.count);
-    size_t offset = meta.freq_begin;
-    for (uint32_t i = 0; i < meta.count; ++i) {
-      freqs_[i] = VByteDecode(list_->bytes_.data(), offset);
-    }
+    list_->DecodeArea(meta.freq_begin, list_->FreqEnd(block_), meta.count,
+                      freqs_.data());
     freqs_decoded_ = true;
     if (stats_ != nullptr) stats_->freqs_decoded += meta.count;
   }

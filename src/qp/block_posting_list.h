@@ -23,14 +23,35 @@ struct DecodeStats {
   size_t blocks_decoded = 0;
   /// Blocks passed over on metadata alone (never decompressed).
   size_t blocks_skipped = 0;
+  /// Blocks passed over because per-query live-block computation proved
+  /// their whole docid range dead (disjoint from blocks_skipped: a
+  /// liveness-driven jump reclassifies its metadata skips into this
+  /// counter). DESIGN.md §6h.
+  size_t blocks_skipped_live = 0;
 
   void MergeFrom(const DecodeStats& other) {
     postings_decoded += other.postings_decoded;
     freqs_decoded += other.freqs_decoded;
     blocks_decoded += other.blocks_decoded;
     blocks_skipped += other.blocks_skipped;
+    blocks_skipped_live += other.blocks_skipped_live;
   }
 };
+
+/// How a block's docid deltas and frequencies are compressed.
+enum class BlockCodec : uint8_t {
+  /// VByte byte streams, the PR 4 layout (no per-area header byte).
+  kVByte = 0,
+  /// Fixed-width bit-packed lanes, selected per block: each area starts
+  /// with one width byte (1..32 = packed lane width; 0 = this area fell
+  /// back to VByte because packing would have been larger, e.g. one huge
+  /// delta in an otherwise dense block). Decoding is branch-free per value
+  /// (load, shift, mask) — the SIMD-friendly layout of DESIGN.md §6h.
+  kPacked = 1,
+};
+
+/// Stable lowercase label for JSON output and metrics attributes.
+const char* BlockCodecName(BlockCodec codec);
 
 /// Appends `value` VByte-encoded (7 data bits per byte, high bit set on all
 /// but the final byte) to `out`. Thin alias of the shared common/varint.h
@@ -79,10 +100,12 @@ class BlockPostingList {
 
   /// Freezes `postings` (strictly increasing docids, tf >= 1) into the
   /// compressed layout.
-  static BlockPostingList Build(std::span<const PostingIn> postings, size_t block_size);
+  static BlockPostingList Build(std::span<const PostingIn> postings, size_t block_size,
+                                BlockCodec codec = BlockCodec::kVByte);
 
   size_t num_postings() const { return num_postings_; }
   size_t num_blocks() const { return blocks_.size(); }
+  BlockCodec codec() const { return codec_; }
   /// Upper bound (>=) of every posting's exact impact / document prior.
   float max_impact() const { return max_impact_; }
   float max_prior() const { return max_prior_; }
@@ -144,6 +167,13 @@ class BlockPostingList {
 
   Cursor OpenCursor(DecodeStats* stats) const { return Cursor(this, stats); }
 
+  /// Per-block metadata reads for callers that reason about blocks without a
+  /// cursor — the live-block computation (query_processor.cc) intersects
+  /// these bounds across a query's lists before any descent.
+  uint32_t block_last_docid(size_t block) const { return blocks_[block].last_docid; }
+  float block_max_impact(size_t block) const { return blocks_[block].max_impact; }
+  float block_max_prior(size_t block) const { return blocks_[block].max_prior; }
+
  private:
   struct BlockMeta {
     /// Largest docid in the block (the skip key).
@@ -166,12 +196,20 @@ class BlockPostingList {
     return block == 0 ? 0 : blocks_[block - 1].last_docid;
   }
 
+  /// Appends one block area (docid deltas or frequencies) under codec_.
+  void AppendArea(const std::vector<uint32_t>& values);
+  /// Decodes the `count` values of the area at bytes_[begin..end) into
+  /// `out`. Bounds-checked: a malformed area aborts (JXP_CHECK) instead of
+  /// reading past the buffer.
+  void DecodeArea(size_t begin, size_t end, uint32_t count, uint32_t* out) const;
+
   std::vector<uint8_t> bytes_;
   std::vector<BlockMeta> blocks_;
   size_t num_postings_ = 0;
   size_t docid_bytes_ = 0;
   float max_impact_ = 0;
   float max_prior_ = 0;
+  BlockCodec codec_ = BlockCodec::kVByte;
 };
 
 }  // namespace qp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 namespace jxp {
 namespace qp {
@@ -35,7 +36,9 @@ CompressedPeerIndex CompressedPeerIndex::Freeze(
   std::sort(terms.begin(), terms.end());
 
   const double num_docs = static_cast<double>(corpus.NumDocuments());
+  const double w = options.prior_weight;
   std::vector<BlockPostingList::PostingIn> ins;
+  std::vector<double> primer_values;
   for (search::TermId term : terms) {
     const std::vector<search::Posting>* postings = index.PostingsFor(term);
     const uint32_t df = corpus.DocumentFrequency(term);
@@ -60,7 +63,25 @@ CompressedPeerIndex CompressedPeerIndex::Freeze(
     TermList entry;
     entry.term = term;
     entry.idf = idf;
-    entry.list = BlockPostingList::Build(ins, options.block_size);
+    entry.list = BlockPostingList::Build(ins, options.block_size, options.codec);
+    if (options.primer_k > 0 && ins.size() >= options.primer_k) {
+      // Per-posting lower bound of the document's fused score (the same
+      // double expression shape as the canonical score, so fl-monotonicity
+      // guarantees score(d) >= value(d)). The primer_k-th largest value is
+      // then a lower bound of the k-th best score of ANY query containing
+      // this term: its top primer_k postings each score at least their own
+      // value, hence at least the primer.
+      primer_values.clear();
+      primer_values.reserve(ins.size());
+      for (const BlockPostingList::PostingIn& in : ins) {
+        primer_values.push_back(w == 0.0 ? in.impact
+                                         : (1.0 - w) * in.impact + w * in.prior);
+      }
+      std::nth_element(primer_values.begin(),
+                       primer_values.begin() + static_cast<ptrdiff_t>(options.primer_k - 1),
+                       primer_values.end(), std::greater<double>());
+      entry.primer = primer_values[options.primer_k - 1];
+    }
     frozen.max_prior_bound_ =
         std::max(frozen.max_prior_bound_, entry.list.max_prior());
 

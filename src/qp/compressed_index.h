@@ -15,6 +15,20 @@ namespace qp {
 struct CompressedIndexOptions {
   /// Postings per compressed block.
   size_t block_size = BlockPostingList::kDefaultBlockSize;
+  /// Block compression codec (kVByte is the PR 4 layout; kPacked is the
+  /// SIMD-friendly bit-packed layout with per-block VByte fallback). Both
+  /// are lossless, so every processor returns bit-identical results under
+  /// either.
+  BlockCodec codec = BlockCodec::kVByte;
+  /// When > 0, Freeze also computes a term-level threshold primer per list
+  /// with at least primer_k postings: the primer_k-th largest value of
+  ///   (1 - w) * impact(d) + w * prior(d)
+  /// over the list's postings (exact doubles, same expression shape as the
+  /// canonical fused score). Any top-primer_k result set over a query
+  /// containing the term has a k-th score >= this primer — the safe
+  /// lower bound threshold priming starts the MaxScore heap from
+  /// (DESIGN.md §6h). 0 skips the computation.
+  size_t primer_k = 0;
   /// Weight w of the static JXP prior in the fused per-peer score
   ///   score(d) = (1 - w) * tfidf(d) + w * jxp(d).
   /// 0 (the default) scores pure tf*idf, bit-identical to
@@ -65,6 +79,9 @@ class CompressedPeerIndex {
   struct TermList {
     search::TermId term = 0;
     double idf = 0;
+    /// Safe threshold primer (see CompressedIndexOptions::primer_k); 0 when
+    /// priming is off or the list is shorter than primer_k.
+    double primer = 0;
     BlockPostingList list;
   };
 
@@ -78,6 +95,9 @@ class CompressedPeerIndex {
       const search::PeerIndex& index, const search::Corpus& corpus,
       const std::unordered_map<graph::PageId, double>& jxp_scores,
       const CompressedIndexOptions& options);
+
+  /// Every frozen list in deterministic (ascending-term) order.
+  const std::vector<TermList>& lists() const { return lists_; }
 
   /// The frozen list of a term, or nullptr if the peer has none.
   const TermList* ListFor(search::TermId term) const {

@@ -77,20 +77,111 @@ TopKList ExhaustiveTopK(const CompressedPeerIndex& index,
   return FinishRanked(std::move(ranked), k);
 }
 
+namespace {
+
+struct ListCursor {
+  size_t query_pos;
+  const CompressedPeerIndex::TermList* entry;
+  BlockPostingList::Cursor cursor;
+  double ub;  // Quantized list-level impact upper bound, widened.
+};
+
+/// Per-query live-block computation (DESIGN.md §6h): the docid space is cut
+/// at every block boundary of every query list, and each resulting range is
+/// scored by the sum of the covering blocks' quantized max impacts (plus the
+/// covering max prior under fused ranking). A range whose slack-inflated
+/// bound cannot beat the threshold is *dead*: no document inside it can
+/// enter the top-k, so the candidate loop jumps over it without moving past
+/// one posting. Within a range every list's covering block is constant (the
+/// cuts include all block edges), which is what makes the per-range bound a
+/// true upper bound of any document in it.
+struct LiveRanges {
+  /// Range r covers docids [start[r], start[r+1]) (the last range is open).
+  std::vector<uint32_t> start;
+  std::vector<uint8_t> live;
+  size_t at = 0;
+  bool active = false;
+
+  void Advance(uint32_t d) {
+    while (at + 1 < start.size() && start[at + 1] <= d) ++at;
+  }
+  bool IsLive(uint32_t d) {
+    if (!active) return true;
+    Advance(d);
+    return live[at] != 0;
+  }
+  /// First docid >= d inside a live range (kEndDocid when none remains).
+  uint32_t NextLiveStart(uint32_t d) {
+    Advance(d);
+    for (size_t r = at; r < start.size(); ++r) {
+      if (live[r] != 0) return std::max(d, start[r]);
+    }
+    return BlockPostingList::kEndDocid;
+  }
+};
+
+void BuildLiveRanges(const std::vector<ListCursor>& lists, double w, double theta,
+                     double slack, QueryStats* s, LiveRanges& out) {
+  out.start.clear();
+  out.start.push_back(0);
+  for (const ListCursor& lc : lists) {
+    const BlockPostingList& list = lc.entry->list;
+    for (size_t b = 0; b < list.num_blocks(); ++b) {
+      out.start.push_back(list.block_last_docid(b) + 1);
+    }
+  }
+  std::sort(out.start.begin(), out.start.end());
+  out.start.erase(std::unique(out.start.begin(), out.start.end()), out.start.end());
+  out.live.assign(out.start.size(), 0);
+  out.at = 0;
+  out.active = true;
+
+  std::vector<size_t> block_of(lists.size(), 0);
+  for (size_t r = 0; r < out.start.size(); ++r) {
+    const uint32_t first = out.start[r];
+    double impact_sum = 0;
+    double prior_max = 0;
+    bool covered = false;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      const BlockPostingList& list = lists[i].entry->list;
+      size_t& b = block_of[i];
+      while (b < list.num_blocks() && list.block_last_docid(b) < first) ++b;
+      if (b >= list.num_blocks()) continue;
+      covered = true;
+      impact_sum += static_cast<double>(list.block_max_impact(b));
+      prior_max = std::max(prior_max, static_cast<double>(list.block_max_prior(b)));
+    }
+    // Identical bound discipline to the per-document pruning below: a dead
+    // range's bound dominates the canonical fused score of every document
+    // in it (fl-monotone sums, reassociation absorbed by the slack), so
+    // skipping the range discards only documents the per-document check
+    // would also have discarded.
+    const double bound = slack * ((1.0 - w) * impact_sum + w * prior_max);
+    out.live[r] = (covered && bound > theta) ? 1 : 0;
+    if (out.live[r] != 0) {
+      ++s->live_ranges;
+    } else {
+      ++s->dead_ranges;
+    }
+  }
+}
+
+}  // namespace
+
 TopKList MaxScoreTopK(const CompressedPeerIndex& index,
                       std::span<const search::TermId> query, size_t k,
                       QueryStats* stats) {
+  return MaxScoreTopK(index, query, k, MaxScoreOptions{}, stats);
+}
+
+TopKList MaxScoreTopK(const CompressedPeerIndex& index,
+                      std::span<const search::TermId> query, size_t k,
+                      const MaxScoreOptions& options, QueryStats* stats) {
   JXP_CHECK_GT(k, 0u);
   QueryStats local;
   QueryStats* s = stats != nullptr ? stats : &local;
   const double w = index.prior_weight();
 
-  struct ListCursor {
-    size_t query_pos;
-    const CompressedPeerIndex::TermList* entry;
-    BlockPostingList::Cursor cursor;
-    double ub;  // Quantized list-level impact upper bound, widened.
-  };
   std::vector<ListCursor> lists;
   lists.reserve(query.size());
   for (size_t qi = 0; qi < query.size(); ++qi) {
@@ -134,17 +225,53 @@ TopKList MaxScoreTopK(const CompressedPeerIndex& index,
   // beat theta, so no document found *only* there can enter the top-k.
   size_t essential = 0;
   const auto raise_essential = [&] {
+    const size_t before = essential;
     while (essential < n &&
            kBoundSlack * ((1.0 - w) * prefix_ub[essential] + w * prior_ub) <= theta) {
       ++essential;
     }
+    return essential != before;
   };
+
+  // The range set is rebuilt when the threshold first materializes (priming
+  // or first heap fill) and whenever a list leaves the essential set — at
+  // most n + 2 builds, each a pure function of (index, query, k, options).
+  LiveRanges ranges;
+  const auto rebuild_live = [&] {
+    if (options.live_blocks) BuildLiveRanges(lists, w, theta, kBoundSlack, s, ranges);
+  };
+
+  if (options.primed_threshold > 0) {
+    // The heap never narrows theta back below the primer (std::max below):
+    // early survivors that score under the primer stay in the heap as
+    // placeholders — everything above the primer is exact, which is all the
+    // caller's merge consumes — but must not weaken pruning.
+    theta = options.primed_threshold;
+    raise_essential();
+    rebuild_live();
+  }
 
   while (essential < n) {
     // Candidate: smallest docid on any essential list.
     uint32_t d = BlockPostingList::kEndDocid;
     for (size_t i = essential; i < n; ++i) d = std::min(d, lists[i].cursor.docid());
     if (d == BlockPostingList::kEndDocid) break;
+
+    if (ranges.active && !ranges.IsLive(d)) {
+      // Dead range: every document in it is provably below theta. Jump all
+      // essential cursors to the next live range; block skips caused by the
+      // jump are reclassified from blocks_skipped (shallow per-document
+      // skipping) into blocks_skipped_live so the two stay disjoint.
+      const uint32_t next = ranges.NextLiveStart(d);
+      const size_t skipped_before = s->decode.blocks_skipped;
+      for (size_t i = essential; i < n; ++i) {
+        if (lists[i].cursor.docid() < next) lists[i].cursor.NextGEQ(next);
+      }
+      const size_t moved = s->decode.blocks_skipped - skipped_before;
+      s->decode.blocks_skipped -= moved;
+      s->decode.blocks_skipped_live += moved;
+      continue;
+    }
 
     // Exact partial score from the essential lists. Each matching cursor
     // sits inside a decoded block that contains d, so that block's quantized
@@ -206,15 +333,16 @@ TopKList MaxScoreTopK(const CompressedPeerIndex& index,
         heap.emplace_back(score, d);
         std::push_heap(heap.begin(), heap.end(), BetterPair);
         if (heap.size() == k) {
-          theta = heap.front().first;
+          theta = std::max(theta, heap.front().first);
           raise_essential();
+          rebuild_live();
         }
       } else if (BetterResult(score, d, heap.front().first, heap.front().second)) {
         std::pop_heap(heap.begin(), heap.end(), BetterPair);
         heap.back() = {score, d};
         std::push_heap(heap.begin(), heap.end(), BetterPair);
-        theta = heap.front().first;
-        raise_essential();
+        theta = std::max(theta, heap.front().first);
+        if (raise_essential()) rebuild_live();
       }
     }
 

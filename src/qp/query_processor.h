@@ -18,13 +18,21 @@ struct QueryStats {
   /// Documents fully scored (all query terms aggregated in canonical order).
   size_t candidates_scored = 0;
   /// Documents ruled out by an upper-bound check before full scoring
-  /// (always 0 for the exhaustive processor).
+  /// (always 0 for the exhaustive processor). Documents inside dead ranges
+  /// are never enumerated at all and appear in neither counter.
   size_t docs_pruned = 0;
+  /// Live-block computation outcome, accumulated over every (re)build of
+  /// the range set: docid ranges whose combined block bounds can still beat
+  /// the threshold vs. ranges proven dead (MaxScore only).
+  size_t live_ranges = 0;
+  size_t dead_ranges = 0;
 
   void MergeFrom(const QueryStats& other) {
     decode.MergeFrom(other.decode);
     candidates_scored += other.candidates_scored;
     docs_pruned += other.docs_pruned;
+    live_ranges += other.live_ranges;
+    dead_ranges += other.dead_ranges;
   }
 };
 
@@ -52,6 +60,27 @@ TopKList ExhaustiveTopK(const CompressedPeerIndex& index,
                         std::span<const search::TermId> query, size_t k,
                         QueryStats* stats);
 
+/// Tuning knobs of the MaxScore processor. Every setting preserves
+/// bit-identity with ExhaustiveTopK; only the amount of decode work changes.
+struct MaxScoreOptions {
+  /// Threshold the top-k heap is primed with before descent (0 = cold). The
+  /// caller must guarantee the value is a strict lower bound of the true
+  /// k-th best fused score over the union of all result lists the query
+  /// will be merged across (QueryServer derives it from term-level primers
+  /// and the query-threshold cache, deflated by 1e-12 — never the raw k-th
+  /// score itself). A primed run may return fewer or different entries
+  /// *below* the primed threshold, but everything scoring above it is
+  /// exact, which is what the merged top-k consumes.
+  double primed_threshold = 0;
+  /// Per-query live-block computation: before a candidate is enumerated,
+  /// docid ranges whose combined per-block upper bounds cannot beat the
+  /// current threshold are skipped without cursor decode work. The range
+  /// set is (re)built when the threshold first materializes and whenever a
+  /// list leaves the essential set — a pure function of (index, query, k,
+  /// primed_threshold), so DecodeStats stay deterministic.
+  bool live_blocks = true;
+};
+
 /// Fast path: document-at-a-time MaxScore with block-max skipping. Lists are
 /// split into essential and non-essential by their quantized score upper
 /// bounds; candidates come only from essential lists, and non-essential
@@ -66,6 +95,11 @@ TopKList ExhaustiveTopK(const CompressedPeerIndex& index,
 TopKList MaxScoreTopK(const CompressedPeerIndex& index,
                       std::span<const search::TermId> query, size_t k,
                       QueryStats* stats);
+
+/// As above with explicit options (threshold priming, live-block skipping).
+TopKList MaxScoreTopK(const CompressedPeerIndex& index,
+                      std::span<const search::TermId> query, size_t k,
+                      const MaxScoreOptions& options, QueryStats* stats);
 
 }  // namespace qp
 }  // namespace jxp

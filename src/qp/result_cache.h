@@ -1,0 +1,94 @@
+#ifndef JXP_QP_RESULT_CACHE_H_
+#define JXP_QP_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "search/corpus.h"
+
+namespace jxp {
+namespace qp {
+
+/// A deterministic LRU map: the eviction order is a pure function of the
+/// Get/Put call sequence (recency list + hash index, no clocks, no
+/// randomized admission), which is what lets QueryServer consult its caches
+/// from a serial phase and keep results and metrics bit-identical at any
+/// thread count. capacity == 0 disables the cache (Put is a no-op, Get
+/// always misses).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class DeterministicLru {
+ public:
+  explicit DeterministicLru(size_t capacity = 0) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+  /// Returns the cached value (marking the entry most-recently-used) or
+  /// nullptr. The pointer is invalidated by the next Put or Clear.
+  Value* Get(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites, marking the entry most-recently-used; the
+  /// least-recently-used entry is evicted when the capacity is exceeded.
+  void Put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_.emplace(key, entries_.begin());
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+  }
+
+  /// Keys in recency order, most recent first (test/debug aid).
+  std::vector<Key> Keys() const {
+    std::vector<Key> keys;
+    keys.reserve(entries_.size());
+    for (const auto& entry : entries_) keys.push_back(entry.first);
+    return keys;
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<Key, Value>> entries_;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator, Hash>
+      index_;
+};
+
+/// FNV-1a over the term sequence — order-sensitive on purpose: result-cache
+/// keys are the *exact* term sequence (scores are accumulated in query-term
+/// order, so permutations are distinct queries bit-wise), threshold-cache
+/// keys are pre-sorted by the caller.
+struct TermSequenceHash {
+  size_t operator()(const std::vector<search::TermId>& terms) const {
+    uint64_t h = 1469598103934665603ull;
+    for (search::TermId term : terms) {
+      h ^= static_cast<uint64_t>(term);
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace qp
+}  // namespace jxp
+
+#endif  // JXP_QP_RESULT_CACHE_H_

@@ -16,6 +16,17 @@ namespace {
 /// deterministic after merging, but keep scheduling canonical anyway).
 constexpr size_t kServeGrain = 1;
 
+/// Every primed threshold is multiplied by this before it reaches the
+/// MaxScore heap. Term primers and cached thresholds are lower bounds of the
+/// true merged k-th score in exact arithmetic; the deflation absorbs the
+/// floating-point reassociation slack between the term order the bound was
+/// derived under and the order the query actually sums in (~n*eps, orders of
+/// magnitude below 1e-12) AND makes the bound strict, so a primed run can
+/// never prune a document that ties the true k-th score.
+constexpr double kPrimeDeflate = 1.0 - 1e-12;
+
+constexpr size_t kNotDup = static_cast<size_t>(-1);
+
 }  // namespace
 
 const char* ProcessorName(ProcessorKind kind) {
@@ -31,7 +42,10 @@ const char* ProcessorName(ProcessorKind kind) {
 }
 
 QueryServer::QueryServer(const search::Corpus* corpus, const ServingOptions& options)
-    : corpus_(corpus), options_(options) {
+    : corpus_(corpus),
+      options_(options),
+      result_cache_(options.result_cache_capacity),
+      threshold_cache_(options.threshold_cache_capacity) {
   JXP_CHECK(corpus_ != nullptr);
   JXP_CHECK_GT(options_.k, 0u);
   pool_ = std::make_unique<ThreadPool>(std::max<size_t>(options_.num_threads, 1));
@@ -42,10 +56,16 @@ QueryServer::QueryServer(const search::Corpus* corpus, const ServingOptions& opt
   freqs_decoded_ = registry.GetCounter("jxp.qp.freqs_decoded");
   blocks_decoded_ = registry.GetCounter("jxp.qp.blocks_decoded");
   blocks_skipped_ = registry.GetCounter("jxp.qp.blocks_skipped");
+  blocks_skipped_live_ = registry.GetCounter("jxp.qp.blocks_skipped_live");
   candidates_scored_ = registry.GetCounter("jxp.qp.candidates_scored");
   docs_pruned_ = registry.GetCounter("jxp.qp.docs_pruned");
+  live_ranges_ = registry.GetCounter("jxp.qp.live_ranges");
+  dead_ranges_ = registry.GetCounter("jxp.qp.dead_ranges");
   ta_sorted_accesses_ = registry.GetCounter("jxp.qp.ta_sorted_accesses");
   ta_random_accesses_ = registry.GetCounter("jxp.qp.ta_random_accesses");
+  result_cache_hits_ = registry.GetCounter("jxp.qp.result_cache_hits");
+  result_cache_misses_ = registry.GetCounter("jxp.qp.result_cache_misses");
+  primed_queries_ = registry.GetCounter("jxp.qp.primed_queries");
   postings_decoded_per_query_ = registry.GetHistogram(
       "jxp.qp.postings_decoded_per_query",
       {0, 8, 32, 128, 512, 2048, 8192, 32768, 131072});
@@ -59,13 +79,64 @@ void QueryServer::AddPeer(const search::PeerIndex* index,
                           const std::unordered_map<graph::PageId, double>& jxp_scores,
                           const CompressedIndexOptions& copts) {
   JXP_CHECK(index != nullptr);
+  CompressedIndexOptions opts = copts;
+  if (options_.threshold_priming) opts.primer_k = options_.k;
   peer_indexes_.push_back(index);
-  compressed_.push_back(CompressedPeerIndex::Freeze(*index, *corpus_, jxp_scores, copts));
+  compressed_.push_back(CompressedPeerIndex::Freeze(*index, *corpus_, jxp_scores, opts));
   index_stats_.MergeFrom(compressed_.back().stats());
-  if (copts.prior_weight != 0.0) priors_disabled_ = false;
+  if (opts.prior_weight != 0.0) priors_disabled_ = false;
+  // A per-peer primer stays a valid merged-score bound globally: the merged
+  // k-th score dominates every peer's k-th score, which dominates that
+  // peer's primer. Take the best across peers per term.
+  for (const CompressedPeerIndex::TermList& entry : compressed_.back().lists()) {
+    if (entry.primer > 0.0) {
+      double& primer = term_primers_[entry.term];
+      primer = std::max(primer, entry.primer);
+    }
+  }
+  // New postings change merged results and thresholds alike.
+  result_cache_.Clear();
+  threshold_cache_.Clear();
 }
 
-void QueryServer::ServeOne(const ServedQuery& query, ServedResult& out) {
+double QueryServer::PrimedThreshold(const std::vector<search::TermId>& terms) {
+  if (options_.processor != ProcessorKind::kMaxScore || terms.empty()) return 0.0;
+  double theta = 0.0;
+  if (options_.threshold_priming) {
+    for (search::TermId term : terms) {
+      const auto it = term_primers_.find(term);
+      if (it != term_primers_.end()) theta = std::max(theta, it->second);
+    }
+  }
+  if (threshold_cache_.capacity() > 0) {
+    // Scores are monotone in the query-term multiset (every impact is
+    // nonnegative), so the threshold of the exact sorted multiset or of any
+    // drop-one sub-multiset bounds this query's k-th score from below.
+    std::vector<search::TermId> key = terms;
+    std::sort(key.begin(), key.end());
+    if (const double* cached = threshold_cache_.Get(key)) {
+      theta = std::max(theta, *cached);
+    }
+    if (key.size() >= 2) {
+      std::vector<search::TermId> sub(key.size() - 1);
+      for (size_t drop = 0; drop < key.size(); ++drop) {
+        // Dropping either of two equal terms yields the same sub-multiset.
+        if (drop > 0 && key[drop] == key[drop - 1]) continue;
+        size_t out = 0;
+        for (size_t j = 0; j < key.size(); ++j) {
+          if (j != drop) sub[out++] = key[j];
+        }
+        if (const double* cached = threshold_cache_.Get(sub)) {
+          theta = std::max(theta, *cached);
+        }
+      }
+    }
+  }
+  return theta > 0.0 ? theta * kPrimeDeflate : 0.0;
+}
+
+void QueryServer::ServeOne(const ServedQuery& query, double primed_threshold,
+                           ServedResult& out) {
   WallTimer timer;
   // Per-peer top-k, merged with replica deduplication: a page hosted by
   // several peers scores bit-identically on each (the score is a pure
@@ -78,9 +149,15 @@ void QueryServer::ServeOne(const ServedQuery& query, ServedResult& out) {
       case ProcessorKind::kExhaustive:
         local = ExhaustiveTopK(compressed_[p], query.terms, options_.k, &out.stats);
         break;
-      case ProcessorKind::kMaxScore:
-        local = MaxScoreTopK(compressed_[p], query.terms, options_.k, &out.stats);
+      case ProcessorKind::kMaxScore: {
+        MaxScoreOptions mopts;
+        // The same primed threshold is valid against every peer: it lower-
+        // bounds the *merged* k-th score, and per-peer entries below it can
+        // never reach the merged top-k.
+        mopts.primed_threshold = primed_threshold;
+        local = MaxScoreTopK(compressed_[p], query.terms, options_.k, mopts, &out.stats);
         break;
+      }
       case ProcessorKind::kThresholdAlgorithm: {
         const search::ThresholdTopKResult ta = search::ThresholdTopK(
             *peer_indexes_[p], *corpus_, query.terms, options_.k);
@@ -108,10 +185,14 @@ void QueryServer::ServeOne(const ServedQuery& query, ServedResult& out) {
   freqs_decoded_.Increment(out.stats.decode.freqs_decoded);
   blocks_decoded_.Increment(out.stats.decode.blocks_decoded);
   blocks_skipped_.Increment(out.stats.decode.blocks_skipped);
+  blocks_skipped_live_.Increment(out.stats.decode.blocks_skipped_live);
   candidates_scored_.Increment(out.stats.candidates_scored);
   docs_pruned_.Increment(out.stats.docs_pruned);
+  live_ranges_.Increment(out.stats.live_ranges);
+  dead_ranges_.Increment(out.stats.dead_ranges);
   ta_sorted_accesses_.Increment(out.ta_sorted_accesses);
   ta_random_accesses_.Increment(out.ta_random_accesses);
+  if (primed_threshold > 0.0) primed_queries_.Increment();
   postings_decoded_per_query_.Observe(
       static_cast<double>(out.stats.decode.postings_decoded));
   results_per_query_.Observe(static_cast<double>(out.results.size()));
@@ -133,8 +214,65 @@ std::vector<ServedResult> QueryServer::ServeBatch(std::span<const ServedQuery> q
     span.AddAttr("k", options_.k);
   }
   std::vector<ServedResult> results(queries.size());
-  pool_->ParallelFor(0, queries.size(), kServeGrain,
-                     [&](size_t i) { ServeOne(queries[i], results[i]); });
+  const bool use_result_cache = result_cache_.capacity() > 0;
+
+  // Phase 1 (serial): result-cache lookups, in-batch dedup by exact term
+  // sequence, and threshold priming. Everything that touches cache recency
+  // happens here in query order, so cache state — and with it every primed
+  // threshold and work counter — is a pure function of the query sequence.
+  std::vector<size_t> misses;
+  std::vector<double> primed(queries.size(), 0.0);
+  std::vector<size_t> dup_of(queries.size(), kNotDup);
+  std::unordered_map<std::vector<search::TermId>, size_t, TermSequenceHash> first_of;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (use_result_cache) {
+      if (const CachedResult* hit = result_cache_.Get(queries[i].terms)) {
+        results[i].results = hit->results;
+        results[i].cache_hit = true;
+        continue;
+      }
+      const auto [it, inserted] = first_of.try_emplace(queries[i].terms, i);
+      if (!inserted) {
+        dup_of[i] = it->second;
+        continue;
+      }
+      result_cache_misses_.Increment();
+    }
+    primed[i] = PrimedThreshold(queries[i].terms);
+    misses.push_back(i);
+  }
+
+  // Phase 2 (parallel): evaluate the distinct misses. With caching off this
+  // is the exact PR 4 loop over all queries.
+  pool_->ParallelFor(0, misses.size(), kServeGrain, [&](size_t j) {
+    const size_t i = misses[j];
+    ServeOne(queries[i], primed[i], results[i]);
+  });
+
+  // Phase 3 (serial, query order): fan results out to in-batch duplicates,
+  // record hit metrics, and admit new entries into both caches.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (dup_of[i] != kNotDup) {
+      results[i].results = results[dup_of[i]].results;
+      results[i].cache_hit = true;
+    }
+    if (results[i].cache_hit) {
+      queries_total_.Increment();
+      result_cache_hits_.Increment();
+      results_per_query_.Observe(static_cast<double>(results[i].results.size()));
+      continue;
+    }
+    if (use_result_cache) {
+      result_cache_.Put(queries[i].terms, CachedResult{results[i].results});
+    }
+    if (threshold_cache_.capacity() > 0 && results[i].results.size() == options_.k) {
+      // The k-th (worst) merged score of a *full* result list is the exact
+      // threshold of this term multiset; partial lists have no k-th score.
+      std::vector<search::TermId> key = queries[i].terms;
+      std::sort(key.begin(), key.end());
+      threshold_cache_.Put(std::move(key), results[i].results.back().second);
+    }
+  }
   return results;
 }
 

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "qp/query_processor.h"
+#include "qp/result_cache.h"
 
 namespace jxp {
 namespace search {
@@ -39,6 +40,23 @@ struct ServingOptions {
   /// ParallelFor width for ServeBatch. Results and all non-timing metrics
   /// are bit-identical at any value, including 1.
   size_t num_threads = 1;
+  /// Merged-result LRU capacity, keyed by the *exact* term sequence (scores
+  /// are accumulated in query-term order, so permutations are distinct
+  /// queries bit-wise). An exact hit short-circuits serving entirely. 0 (the
+  /// default) disables the cache and preserves the uncached code path — and
+  /// its metrics — exactly.
+  size_t result_cache_capacity = 0;
+  /// Query-threshold LRU capacity, keyed by the sorted term multiset. Stores
+  /// the merged k-th score of fully-filled results; later queries prime the
+  /// MaxScore heap from the exact key or any drop-one sub-multiset (scores
+  /// are monotone in the query-term multiset), deflated so the primed
+  /// threshold stays a strict lower bound. 0 disables the cache.
+  size_t threshold_cache_capacity = 0;
+  /// Term-level threshold priming (MaxScore only): AddPeer computes a safe
+  /// per-term primer at freeze time (CompressedIndexOptions::primer_k) and
+  /// queries start their heap from the best primer among their terms. Works
+  /// with or without the caches; bit-identity is unconditional.
+  bool threshold_priming = true;
 };
 
 /// One query of a batch.
@@ -56,6 +74,11 @@ struct ServedResult {
   /// Threshold-Algorithm accounting (kThresholdAlgorithm only).
   size_t ta_sorted_accesses = 0;
   size_t ta_random_accesses = 0;
+  /// True when the result came from the result cache (or from an identical
+  /// query earlier in the same batch) without running a processor; `stats`
+  /// and the TA counters stay zero — a hit does no decode work, and the
+  /// metrics report work actually performed.
+  bool cache_hit = false;
 };
 
 /// A batched query-serving driver: holds every peer's frozen compressed
@@ -73,12 +96,19 @@ class QueryServer {
 
   /// Registers one peer: borrows `index` (must outlive the server) for the
   /// TA arm and freezes it into the compressed layout for the compressed
-  /// arms. Not concurrency-safe against ServeBatch.
+  /// arms. When threshold_priming is on, primer_k = k is folded into `copts`
+  /// before freezing and the per-term primer table is refreshed. Both caches
+  /// are invalidated (results may change). Not concurrency-safe against
+  /// ServeBatch.
   void AddPeer(const search::PeerIndex* index,
                const std::unordered_map<graph::PageId, double>& jxp_scores,
                const CompressedIndexOptions& copts);
 
-  /// Serves `queries`, one ServedResult per query, in input order.
+  /// Serves `queries`, one ServedResult per query, in input order. Cache
+  /// lookups, threshold priming, and cache insertion happen in two serial
+  /// phases around the parallel evaluation of the distinct misses, so
+  /// results, cache contents, and every non-timing metric are a pure
+  /// function of the query sequence — independent of thread count.
   std::vector<ServedResult> ServeBatch(std::span<const ServedQuery> queries);
 
   size_t num_peers() const { return compressed_.size(); }
@@ -88,7 +118,17 @@ class QueryServer {
   const ServingOptions& options() const { return options_; }
 
  private:
-  void ServeOne(const ServedQuery& query, ServedResult& out);
+  /// What the result cache stores per exact term sequence: only the merged
+  /// list — work counters are not replayed on a hit.
+  struct CachedResult {
+    TopKList results;
+  };
+
+  void ServeOne(const ServedQuery& query, double primed_threshold, ServedResult& out);
+  /// Strict lower bound of the query's merged k-th score from term primers
+  /// and the threshold cache (deflated), or 0 when nothing can prime.
+  /// Mutates threshold-cache recency — call only from a serial phase.
+  double PrimedThreshold(const std::vector<search::TermId>& terms);
 
   const search::Corpus* corpus_;
   ServingOptions options_;
@@ -99,15 +139,28 @@ class QueryServer {
   bool priors_disabled_ = true;
   std::unique_ptr<ThreadPool> pool_;
 
+  /// Best (max) freeze-time threshold primer of each term across peers.
+  std::unordered_map<search::TermId, double> term_primers_;
+  DeterministicLru<std::vector<search::TermId>, CachedResult, TermSequenceHash>
+      result_cache_;
+  DeterministicLru<std::vector<search::TermId>, double, TermSequenceHash>
+      threshold_cache_;
+
   obs::Counter queries_total_;
   obs::Counter postings_decoded_;
   obs::Counter freqs_decoded_;
   obs::Counter blocks_decoded_;
   obs::Counter blocks_skipped_;
+  obs::Counter blocks_skipped_live_;
   obs::Counter candidates_scored_;
   obs::Counter docs_pruned_;
+  obs::Counter live_ranges_;
+  obs::Counter dead_ranges_;
   obs::Counter ta_sorted_accesses_;
   obs::Counter ta_random_accesses_;
+  obs::Counter result_cache_hits_;
+  obs::Counter result_cache_misses_;
+  obs::Counter primed_queries_;
   obs::Histogram postings_decoded_per_query_;
   obs::Histogram results_per_query_;
   obs::Histogram query_latency_ms_;

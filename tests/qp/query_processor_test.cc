@@ -151,6 +151,90 @@ TEST(MaxScoreTopKTest, DecodesFewerPostingsThanExhaustive) {
   EXPECT_GT(trials_with_pruning, 0u);
 }
 
+TEST(MaxScoreTopKTest, PrimedThresholdPreservesTopK) {
+  // Prime with a deflated true k-th score — the tightest threshold any
+  // caller may legally supply. The primed run must return the exact same
+  // list while never decoding more.
+  QpFixture fx;
+  Random rng(67);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto query = fx.SampleQuery(trial, rng);
+    QueryStats cold_stats;
+    const TopKList cold = MaxScoreTopK(*fx.frozen, query, 10, &cold_stats);
+    if (cold.size() < 10 || cold.back().second <= 0) continue;
+    MaxScoreOptions options;
+    options.primed_threshold = cold.back().second * (1.0 - 1e-12);
+    QueryStats primed_stats;
+    const TopKList primed = MaxScoreTopK(*fx.frozen, query, 10, options, &primed_stats);
+    ASSERT_EQ(primed.size(), cold.size()) << "trial " << trial;
+    for (size_t i = 0; i < cold.size(); ++i) {
+      EXPECT_EQ(primed[i].first, cold[i].first) << "trial " << trial << " rank " << i;
+      EXPECT_EQ(primed[i].second, cold[i].second) << "trial " << trial << " rank " << i;
+    }
+    EXPECT_LE(primed_stats.decode.postings_decoded, cold_stats.decode.postings_decoded)
+        << "trial " << trial;
+  }
+}
+
+TEST(MaxScoreTopKTest, LiveBlockSkippingCutsDecodeOnSelectiveQueries) {
+  // Fine-grained blocks + single-term queries: blocks whose max impact falls
+  // below the primed threshold form dead ranges the candidate loop must jump
+  // over without decoding. Results stay bit-identical throughout.
+  QpFixture fx;
+  CompressedIndexOptions copts;
+  copts.block_size = 16;
+  const CompressedPeerIndex fine = CompressedPeerIndex::Freeze(
+      *fx.index, fx.corpus, {}, copts);
+
+  size_t skipped_live_total = 0;
+  size_t cold_postings = 0;
+  size_t primed_postings = 0;
+  size_t dead_ranges_total = 0;
+  for (const auto& [term, postings] : fx.index->postings()) {
+    if (postings.size() < 200) continue;
+    const std::vector<search::TermId> query = {term};
+    QueryStats cold_stats;
+    const TopKList cold = MaxScoreTopK(fine, query, 10, &cold_stats);
+    if (cold.size() < 10 || cold.back().second <= 0) continue;
+    MaxScoreOptions options;
+    options.primed_threshold = cold.back().second * (1.0 - 1e-12);
+    QueryStats primed_stats;
+    const TopKList primed = MaxScoreTopK(fine, query, 10, options, &primed_stats);
+    ASSERT_EQ(primed.size(), cold.size());
+    for (size_t i = 0; i < cold.size(); ++i) {
+      EXPECT_EQ(primed[i].first, cold[i].first) << "rank " << i;
+      EXPECT_EQ(primed[i].second, cold[i].second) << "rank " << i;
+    }
+    skipped_live_total += primed_stats.decode.blocks_skipped_live;
+    dead_ranges_total += primed_stats.dead_ranges;
+    cold_postings += cold_stats.decode.postings_decoded;
+    primed_postings += primed_stats.decode.postings_decoded;
+  }
+  ASSERT_GT(cold_postings, 0u) << "no selective term found; corpus too diverse";
+  // Liveness must fire: dead ranges found, blocks skipped because of them,
+  // and strictly fewer postings materialized.
+  EXPECT_GT(dead_ranges_total, 0u);
+  EXPECT_GT(skipped_live_total, 0u);
+  EXPECT_LT(primed_postings, cold_postings);
+}
+
+TEST(MaxScoreTopKTest, LivenessOffMatchesLivenessOn) {
+  QpFixture fx;
+  Random rng(68);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto query = fx.SampleQuery(trial, rng);
+    MaxScoreOptions off;
+    off.live_blocks = false;
+    const TopKList with_ranges = MaxScoreTopK(*fx.frozen, query, 10, nullptr);
+    const TopKList without = MaxScoreTopK(*fx.frozen, query, 10, off, nullptr);
+    ASSERT_EQ(with_ranges.size(), without.size()) << "trial " << trial;
+    for (size_t i = 0; i < without.size(); ++i) {
+      EXPECT_EQ(with_ranges[i].first, without[i].first) << "trial " << trial;
+      EXPECT_EQ(with_ranges[i].second, without[i].second) << "trial " << trial;
+    }
+  }
+}
+
 TEST(QueryProcessorTest, EmptyAndUnknownQueries) {
   QpFixture fx;
   const std::vector<search::TermId> empty;

@@ -1,0 +1,81 @@
+#include "qp/result_cache.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace jxp {
+namespace qp {
+namespace {
+
+using Lru = DeterministicLru<int, std::string>;
+
+std::vector<int> KeysOf(const Lru& cache) { return cache.Keys(); }
+
+TEST(ResultCacheTest, GetReturnsStoredValue) {
+  Lru cache(4);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(1, "one");
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), "one");
+  cache.Put(1, "uno");  // Overwrite in place.
+  EXPECT_EQ(*cache.Get(1), "uno");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, EvictionOrderIsPureFunctionOfCallSequence) {
+  // The exact scenario twice must leave the cache in the exact same state —
+  // no clocks, no randomized admission.
+  for (int round = 0; round < 2; ++round) {
+    Lru cache(3);
+    cache.Put(1, "a");
+    cache.Put(2, "b");
+    cache.Put(3, "c");
+    EXPECT_EQ(KeysOf(cache), (std::vector<int>{3, 2, 1}));
+
+    // Touching 1 makes it most-recent; inserting 4 must evict 2 (now LRU).
+    ASSERT_NE(cache.Get(1), nullptr);
+    cache.Put(4, "d");
+    EXPECT_EQ(KeysOf(cache), (std::vector<int>{4, 1, 3}));
+    EXPECT_EQ(cache.Get(2), nullptr);
+
+    // Re-Put of an existing key refreshes recency without eviction.
+    cache.Put(3, "c2");
+    EXPECT_EQ(KeysOf(cache), (std::vector<int>{3, 4, 1}));
+    cache.Put(5, "e");  // Evicts 1.
+    EXPECT_EQ(KeysOf(cache), (std::vector<int>{5, 3, 4}));
+    EXPECT_EQ(cache.Get(1), nullptr);
+    EXPECT_EQ(cache.size(), 3u);
+  }
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesTheCache) {
+  Lru cache(0);
+  cache.Put(1, "a");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(ResultCacheTest, ClearEmptiesEverything) {
+  Lru cache(2);
+  cache.Put(1, "a");
+  cache.Put(2, "b");
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(3, "c");
+  EXPECT_EQ(KeysOf(cache), (std::vector<int>{3}));
+}
+
+TEST(ResultCacheTest, TermSequenceHashIsOrderSensitive) {
+  TermSequenceHash hash;
+  const std::vector<search::TermId> ab = {1, 2};
+  const std::vector<search::TermId> ba = {2, 1};
+  EXPECT_NE(hash(ab), hash(ba));
+  EXPECT_EQ(hash(ab), hash(std::vector<search::TermId>{1, 2}));
+}
+
+}  // namespace
+}  // namespace qp
+}  // namespace jxp

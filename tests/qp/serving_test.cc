@@ -47,13 +47,9 @@ struct ServingFixture {
     }
   }
 
-  std::unique_ptr<QueryServer> MakeServer(ProcessorKind processor, size_t threads,
-                                          double prior_weight = 0.0,
-                                          size_t block_size = 128) const {
-    ServingOptions options;
-    options.processor = processor;
-    options.k = 10;
-    options.num_threads = threads;
+  std::unique_ptr<QueryServer> MakeServerWithOptions(ServingOptions options,
+                                                     double prior_weight = 0.0,
+                                                     size_t block_size = 128) const {
     auto server = std::make_unique<QueryServer>(&corpus, options);
     CompressedIndexOptions copts;
     copts.prior_weight = prior_weight;
@@ -62,6 +58,16 @@ struct ServingFixture {
       server->AddPeer(index.get(), jxp_scores, copts);
     }
     return server;
+  }
+
+  std::unique_ptr<QueryServer> MakeServer(ProcessorKind processor, size_t threads,
+                                          double prior_weight = 0.0,
+                                          size_t block_size = 128) const {
+    ServingOptions options;
+    options.processor = processor;
+    options.k = 10;
+    options.num_threads = threads;
+    return MakeServerWithOptions(options, prior_weight, block_size);
   }
 
   graph::CategorizedGraph collection;
@@ -171,6 +177,150 @@ TEST(QueryServerTest, MaxScoreDecodesFewerPostingsThanExhaustive) {
         << "query " << q;
   }
   EXPECT_LT(maxscore_total, exhaustive_total);
+}
+
+ServingOptions CachedOptions(ProcessorKind processor, size_t threads) {
+  ServingOptions options;
+  options.processor = processor;
+  options.k = 10;
+  options.num_threads = threads;
+  options.result_cache_capacity = 64;
+  options.threshold_cache_capacity = 64;
+  return options;
+}
+
+TEST(QueryServerTest, CachedServingIsBitIdenticalToCold) {
+  ServingFixture fx;
+  // A trace with repeats: the second half replays the first. The cached
+  // server must return bit-identical results to the uncached one, with the
+  // replays marked as hits.
+  std::vector<ServedQuery> trace = fx.queries;
+  trace.insert(trace.end(), fx.queries.begin(), fx.queries.end());
+
+  const auto cold = fx.MakeServer(ProcessorKind::kMaxScore, 1)->ServeBatch(trace);
+  for (size_t threads : {1u, 4u}) {
+    const auto cached =
+        fx.MakeServerWithOptions(CachedOptions(ProcessorKind::kMaxScore, threads))
+            ->ServeBatch(trace);
+    ExpectSameResults(cold, cached, "cached vs cold");
+    for (size_t q = 0; q < fx.queries.size(); ++q) {
+      EXPECT_FALSE(cached[q].cache_hit) << "first occurrence " << q;
+      EXPECT_TRUE(cached[q + fx.queries.size()].cache_hit) << "replay " << q;
+    }
+  }
+}
+
+TEST(QueryServerTest, InBatchDuplicatesHitWithoutReserving) {
+  ServingFixture fx;
+  // Same query three times in ONE batch: one evaluation, two in-batch hits,
+  // served correctly at any thread count.
+  std::vector<ServedQuery> trace = {fx.queries[0], fx.queries[0], fx.queries[0]};
+  const auto served =
+      fx.MakeServerWithOptions(CachedOptions(ProcessorKind::kMaxScore, 4))
+          ->ServeBatch(trace);
+  EXPECT_FALSE(served[0].cache_hit);
+  EXPECT_TRUE(served[1].cache_hit);
+  EXPECT_TRUE(served[2].cache_hit);
+  ExpectSameResults({served[0]}, {served[1]}, "dup 1");
+  ExpectSameResults({served[0]}, {served[2]}, "dup 2");
+  EXPECT_EQ(served[1].stats.decode.postings_decoded, 0u);
+}
+
+TEST(QueryServerTest, CachedMetricsAreThreadCountInvariant) {
+  ServingFixture fx;
+  std::vector<ServedQuery> trace = fx.queries;
+  trace.insert(trace.end(), fx.queries.begin(), fx.queries.end());
+  std::string baseline;
+  for (size_t threads : {1u, 2u, 4u}) {
+    obs::MetricsRegistry::Global().Reset();
+    fx.MakeServerWithOptions(CachedOptions(ProcessorKind::kMaxScore, threads))
+        ->ServeBatch(trace);
+    const std::string snapshot =
+        obs::MetricsRegistry::Global().Snapshot().ToJsonLines(/*include_timing=*/false);
+    if (threads == 1) {
+      baseline = snapshot;
+      EXPECT_NE(baseline.find("jxp.qp.result_cache_hits"), std::string::npos);
+      EXPECT_NE(baseline.find("jxp.qp.primed_queries"), std::string::npos);
+    } else {
+      EXPECT_EQ(snapshot, baseline) << threads << " threads";
+    }
+  }
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(QueryServerTest, ThresholdPrimingPreservesResults) {
+  ServingFixture fx;
+  ServingOptions unprimed = CachedOptions(ProcessorKind::kMaxScore, 1);
+  unprimed.result_cache_capacity = 0;  // Force every query through MaxScore.
+  unprimed.threshold_cache_capacity = 0;
+  unprimed.threshold_priming = false;  // Pure PR 4 serving path.
+  ServingOptions primed = unprimed;
+  primed.threshold_priming = true;
+  primed.threshold_cache_capacity = 64;
+
+  // Serve the trace twice so the second pass runs with a warm threshold
+  // cache (every query primed from its own exact key).
+  std::vector<ServedQuery> trace = fx.queries;
+  trace.insert(trace.end(), fx.queries.begin(), fx.queries.end());
+  // Small blocks as in MaxScoreDecodesFewerPostingsThanExhaustive: the
+  // ~350-document peers need fine-grained blocks for skipping to have any
+  // room to act.
+  const auto cold =
+      fx.MakeServerWithOptions(unprimed, 0.0, /*block_size=*/16)->ServeBatch(trace);
+  const auto hot =
+      fx.MakeServerWithOptions(primed, 0.0, /*block_size=*/16)->ServeBatch(trace);
+  ExpectSameResults(cold, hot, "primed vs unprimed");
+
+  // Priming may only ever remove decode work, never add it. (The strict
+  // reduction is pinned at the processor level in
+  // MaxScoreTopKTest.LiveBlockSkippingCutsDecodeOnSelectiveQueries; on this
+  // small fixture the serving-level thresholds land where multi-term range
+  // bounds stay alive.)
+  size_t cold_postings = 0;
+  size_t hot_postings = 0;
+  for (size_t q = 0; q < trace.size(); ++q) {
+    cold_postings += cold[q].stats.decode.postings_decoded;
+    hot_postings += hot[q].stats.decode.postings_decoded;
+  }
+  EXPECT_LE(hot_postings, cold_postings);
+}
+
+TEST(QueryServerTest, AddPeerInvalidatesCaches) {
+  ServingFixture fx;
+  auto server = fx.MakeServerWithOptions(CachedOptions(ProcessorKind::kMaxScore, 1));
+  std::vector<ServedQuery> one_query = {fx.queries[0]};
+  server->ServeBatch(one_query);
+  auto replay = server->ServeBatch(one_query);
+  EXPECT_TRUE(replay[0].cache_hit);
+
+  // A new peer changes the merged results; the stale entry must not survive.
+  search::PeerIndex extra(99);
+  for (graph::PageId p = 600; p < 900; ++p) extra.AddDocument(fx.corpus.DocumentFor(p));
+  server->AddPeer(&extra, fx.jxp_scores, CompressedIndexOptions{});
+  auto refreshed = server->ServeBatch(one_query);
+  EXPECT_FALSE(refreshed[0].cache_hit);
+
+  auto fresh = fx.MakeServerWithOptions(CachedOptions(ProcessorKind::kMaxScore, 1));
+  fresh->AddPeer(&extra, fx.jxp_scores, CompressedIndexOptions{});
+  ExpectSameResults(refreshed, fresh->ServeBatch(one_query), "post-AddPeer");
+}
+
+TEST(QueryServerTest, PackedCodecServesIdenticalResults) {
+  ServingFixture fx;
+  const auto vbyte = fx.MakeServer(ProcessorKind::kMaxScore, 1)->ServeBatch(fx.queries);
+  ServingOptions options;
+  options.processor = ProcessorKind::kMaxScore;
+  options.k = 10;
+  options.num_threads = 1;
+  auto server = std::make_unique<QueryServer>(&fx.corpus, options);
+  CompressedIndexOptions copts;
+  copts.codec = BlockCodec::kPacked;
+  for (const auto& index : fx.indexes) {
+    server->AddPeer(index.get(), fx.jxp_scores, copts);
+  }
+  ExpectSameResults(vbyte, server->ServeBatch(fx.queries), "packed vs vbyte");
+  EXPECT_LT(server->index_stats().CompressedBytesPerPosting(),
+            CompressedIndexStats::kUncompressedBytesPerPosting);
 }
 
 TEST(QueryServerTest, PriorFusionServesConsistently) {
