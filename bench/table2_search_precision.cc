@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "metrics/ranking.h"
+#include "obs/trace.h"
 #include "search/engine.h"
 
 namespace jxp {
@@ -79,8 +80,24 @@ void Run(int argc, char** argv) {
     tfidf_sum += p_tfidf;
     combined_sum += p_combined;
     std::printf("%s\t%.0f%%\t%.0f%%\n", kQueryNames[q], p_tfidf * 100, p_combined * 100);
+    // Structured twin of the printed row, so --metrics_out captures this
+    // bench like the throughput benches.
+    obs::EmitEvent("bench_result", [&](obs::JsonWriter& w) {
+      w.Field("bench", "table2_search_precision")
+          .Field("row", "query")
+          .Field("query", kQueryNames[q])
+          .Field("category", static_cast<uint64_t>(category))
+          .Field("tfidf_p10", p_tfidf)
+          .Field("combined_p10", p_combined);
+    });
   }
   std::printf("Average\t%.0f%%\t%.0f%%\n", tfidf_sum / 15 * 100, combined_sum / 15 * 100);
+  obs::EmitEvent("bench_result", [&](obs::JsonWriter& w) {
+    w.Field("bench", "table2_search_precision")
+        .Field("row", "average")
+        .Field("tfidf_p10", tfidf_sum / 15)
+        .Field("combined_p10", combined_sum / 15);
+  });
 }
 
 }  // namespace bench

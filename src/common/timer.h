@@ -27,6 +27,17 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Monotonic wall clock in integer nanoseconds (CLOCK_MONOTONIC) — the
+/// time base of the latency-observability layer (obs::HdrHistogram stage
+/// samples and the open-loop load harness' arrival schedule), where the
+/// double-seconds WallTimer would lose integer exactness.
+inline uint64_t MonotonicNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
 /// Process-CPU-time stopwatch; used for Table 1 (merge CPU cost), matching
 /// the paper's "CPU time (in milliseconds)" measurement.
 class CpuTimer {

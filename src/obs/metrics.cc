@@ -330,7 +330,42 @@ void MetricsRegistry::Reset() {
 // Snapshot serialization
 
 bool IsTimingMetric(std::string_view name) {
-  return name.ends_with("_ms") || name.ends_with("_seconds");
+  return name.ends_with("_ms") || name.ends_with("_seconds") || name.ends_with("_ns");
+}
+
+std::string MetricNameViolation(std::string_view name) {
+  if (name.empty()) return "empty name";
+  for (const char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.') {
+      continue;
+    }
+    return std::string("illegal character '") + c + "' (allowed: [a-z0-9_.])";
+  }
+  if (name.front() == '.' || name.back() == '.' ||
+      name.find("..") != std::string_view::npos) {
+    return "empty dot-separated segment";
+  }
+  if (name.front() == '_' || name.back() == '_') {
+    return "leading or trailing underscore";
+  }
+  // Timing metrics must use the three canonical suffixes and nothing that
+  // merely looks like one: a near-miss suffix would carry nondeterministic
+  // values yet survive ToJsonLines(include_timing=false), breaking the
+  // cross-thread-count byte-for-byte determinism tests.
+  if (!IsTimingMetric(name)) {
+    static constexpr std::string_view kNearMisses[] = {
+        "_millis", "_msec",   "_msecs",  "_sec",      "_secs",
+        "_nanos",  "_micros", "_us",     "_duration", "_elapsed",
+        "_latency", "_time",  "_wall",   "_cpu"};
+    for (const std::string_view suffix : kNearMisses) {
+      if (name.ends_with(suffix)) {
+        return std::string("suffix '") + std::string(suffix) +
+               "' looks like a timing unit; timing metrics must end in _ms, "
+               "_seconds, or _ns";
+      }
+    }
+  }
+  return "";
 }
 
 std::string MetricsSnapshot::ToJsonLines(bool include_timing) const {

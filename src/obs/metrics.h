@@ -171,11 +171,23 @@ struct MetricsSnapshot {
   std::string ToJsonLines(bool include_timing = true) const;
 };
 
-/// Naming convention: metrics measuring elapsed time carry an "_ms" or
-/// "_seconds" suffix. They are the only metrics whose values vary from run
-/// to run; everything else is a pure function of the simulated work and is
-/// bit-identical across runs and thread counts (see DESIGN.md §6d).
+/// Naming convention: metrics measuring elapsed time carry an "_ms",
+/// "_seconds", or "_ns" suffix. They are the only metrics whose values vary
+/// from run to run; everything else is a pure function of the simulated
+/// work and is bit-identical across runs and thread counts (see DESIGN.md
+/// §6d and docs/METRICS.md).
 bool IsTimingMetric(std::string_view name);
+
+/// Registry hygiene check behind the convention above: returns an empty
+/// string when `name` conforms, else a human-readable reason. Enforced
+/// rules: lowercase [a-z0-9_.] only, non-empty dot-separated segments, and
+/// no near-miss timing suffix ("_millis", "_nanos", "_secs", "_latency",
+/// "_time", ... ) — a metric that measures elapsed time must end in
+/// exactly "_ms", "_seconds", or "_ns" so ToJsonLines(include_timing=false)
+/// provably excludes it. Tests snapshot the registry and run every
+/// registered name through this check (tests/obs/metrics_test.cc,
+/// tests/qp/serving_test.cc).
+std::string MetricNameViolation(std::string_view name);
 
 /// A registry of named counters, gauges, and histograms.
 ///

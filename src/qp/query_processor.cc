@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/timer.h"
+
 namespace jxp {
 namespace qp {
 
@@ -46,11 +48,16 @@ TopKList FinishRanked(std::vector<std::pair<double, graph::PageId>> ranked, size
 
 TopKList ExhaustiveTopK(const CompressedPeerIndex& index,
                         std::span<const search::TermId> query, size_t k,
-                        QueryStats* stats) {
+                        QueryStats* stats, StageNanos* stages) {
   JXP_CHECK_GT(k, 0u);
   QueryStats local;
   QueryStats* s = stats != nullptr ? stats : &local;
   const double w = index.prior_weight();
+  // Profiling is strictly additive: clocks are read only when the caller
+  // asked for a profile, and nothing downstream of a clock read influences
+  // the evaluation (see StageNanos).
+  const bool prof = stages != nullptr;
+  uint64_t t0 = prof ? MonotonicNanos() : 0;
 
   // Term-at-a-time: the outer loop follows query-term order, so every
   // document's accumulator receives its contributions in exactly the order
@@ -66,6 +73,11 @@ TopKList ExhaustiveTopK(const CompressedPeerIndex& index,
     }
   }
   s->candidates_scored += tfidf.size();
+  if (prof) {
+    const uint64_t t1 = MonotonicNanos();
+    stages->decode_ns += t1 - t0;
+    t0 = t1;
+  }
 
   std::vector<std::pair<double, graph::PageId>> ranked;
   ranked.reserve(tfidf.size());
@@ -74,7 +86,15 @@ TopKList ExhaustiveTopK(const CompressedPeerIndex& index,
         w == 0.0 ? text_score : (1.0 - w) * text_score + w * index.PriorOf(page);
     ranked.emplace_back(score, page);
   }
-  return FinishRanked(std::move(ranked), k);
+  if (prof) {
+    const uint64_t t1 = MonotonicNanos();
+    stages->scoring_ns += t1 - t0;
+    t0 = t1;
+  }
+
+  TopKList out = FinishRanked(std::move(ranked), k);
+  if (prof) stages->heap_ns += MonotonicNanos() - t0;
+  return out;
 }
 
 namespace {
@@ -176,11 +196,19 @@ TopKList MaxScoreTopK(const CompressedPeerIndex& index,
 
 TopKList MaxScoreTopK(const CompressedPeerIndex& index,
                       std::span<const search::TermId> query, size_t k,
-                      const MaxScoreOptions& options, QueryStats* stats) {
+                      const MaxScoreOptions& options, QueryStats* stats,
+                      StageNanos* stages) {
   JXP_CHECK_GT(k, 0u);
   QueryStats local;
   QueryStats* s = stats != nullptr ? stats : &local;
   const double w = index.prior_weight();
+  // Scoring and heap work are rare relative to cursor movement, so only
+  // those two get their own clocks; decode falls out as the residual of the
+  // whole run (see StageNanos). No clocks are read when stages == nullptr.
+  const bool prof = stages != nullptr;
+  const uint64_t run_t0 = prof ? MonotonicNanos() : 0;
+  uint64_t scoring_acc = 0;
+  uint64_t heap_acc = 0;
 
   std::vector<ListCursor> lists;
   lists.reserve(query.size());
@@ -320,6 +348,7 @@ TopKList MaxScoreTopK(const CompressedPeerIndex& index,
     if (pruned) {
       ++s->docs_pruned;
     } else {
+      uint64_t t0 = prof ? MonotonicNanos() : 0;
       // Survivor: every live cursor now sits at docid >= d (== d exactly
       // when the document contains the term), so re-aggregate in original
       // query-term order for the canonical, engine-identical double.
@@ -329,6 +358,11 @@ TopKList MaxScoreTopK(const CompressedPeerIndex& index,
       }
       const double score = w == 0.0 ? exact : (1.0 - w) * exact + w * index.PriorOf(d);
       ++s->candidates_scored;
+      if (prof) {
+        const uint64_t t1 = MonotonicNanos();
+        scoring_acc += t1 - t0;
+        t0 = t1;
+      }
       if (heap.size() < k) {
         heap.emplace_back(score, d);
         std::push_heap(heap.begin(), heap.end(), BetterPair);
@@ -344,6 +378,7 @@ TopKList MaxScoreTopK(const CompressedPeerIndex& index,
         theta = std::max(theta, heap.front().first);
         if (raise_essential()) rebuild_live();
       }
+      if (prof) heap_acc += MonotonicNanos() - t0;
     }
 
     for (size_t i = essential; i < n; ++i) {
@@ -351,10 +386,21 @@ TopKList MaxScoreTopK(const CompressedPeerIndex& index,
     }
   }
 
+  const uint64_t sort_t0 = prof ? MonotonicNanos() : 0;
   std::sort(heap.begin(), heap.end(), BetterPair);
   TopKList out;
   out.reserve(heap.size());
   for (const auto& [score, page] : heap) out.emplace_back(page, score);
+  if (prof) {
+    heap_acc += MonotonicNanos() - sort_t0;
+    const uint64_t total = MonotonicNanos() - run_t0;
+    const uint64_t accounted = scoring_acc + heap_acc;
+    stages->scoring_ns += scoring_acc;
+    stages->heap_ns += heap_acc;
+    // Residual; guarded because each accumulated interval ends with its own
+    // later clock read, so rounding can push accounted past total by a hair.
+    stages->decode_ns += total > accounted ? total - accounted : 0;
+  }
   return out;
 }
 

@@ -36,6 +36,34 @@ struct QueryStats {
   }
 };
 
+/// Optional per-run wall-time profile of one top-k evaluation, in integer
+/// nanoseconds. Pure diagnostics: timing never feeds back into evaluation,
+/// so results are bit-identical whether a profile is collected or not.
+/// When the caller passes nullptr the processors read no clocks at all
+/// (zero-cost-off, matching the obs layer's contract).
+///
+/// Stage semantics per processor:
+///   - ExhaustiveTopK: decode_ns = the TAAT cursor walk (decode +
+///     accumulate), scoring_ns = prior fusion over the accumulator,
+///     heap_ns = final partial sort.
+///   - MaxScoreTopK: scoring_ns = canonical-order rescoring of surviving
+///     candidates, heap_ns = top-k heap maintenance + final sort,
+///     decode_ns = the rest of the descent (cursor advancement, block
+///     seeks, bound checks) measured as total minus the other two.
+///   - ThresholdTopK (serving's TA arm): not stage-split; the serving
+///     layer reports its whole run under scoring_ns.
+struct StageNanos {
+  uint64_t decode_ns = 0;
+  uint64_t scoring_ns = 0;
+  uint64_t heap_ns = 0;
+
+  void MergeFrom(const StageNanos& other) {
+    decode_ns += other.decode_ns;
+    scoring_ns += other.scoring_ns;
+    heap_ns += other.heap_ns;
+  }
+};
+
 /// The documented result order: fused score descending, page id ascending on
 /// ties. Every processor (and MinervaEngine's per-peer retrieval) breaks
 /// ties this way, which is what makes top-k results well-defined when
@@ -55,10 +83,10 @@ using TopKList = std::vector<std::pair<graph::PageId, double>>;
 /// MinervaEngine::TfIdfScore) and fused with the static prior when the index
 /// was frozen with prior_weight > 0:
 ///   score(d) = (1 - w) * tfidf(d) + w * prior(d)   [w == 0 => plain tfidf].
-/// `stats` is optional.
+/// `stats` and `stages` are optional (nullptr = not collected).
 TopKList ExhaustiveTopK(const CompressedPeerIndex& index,
                         std::span<const search::TermId> query, size_t k,
-                        QueryStats* stats);
+                        QueryStats* stats, StageNanos* stages = nullptr);
 
 /// Tuning knobs of the MaxScore processor. Every setting preserves
 /// bit-identity with ExhaustiveTopK; only the amount of decode work changes.
@@ -96,10 +124,12 @@ TopKList MaxScoreTopK(const CompressedPeerIndex& index,
                       std::span<const search::TermId> query, size_t k,
                       QueryStats* stats);
 
-/// As above with explicit options (threshold priming, live-block skipping).
+/// As above with explicit options (threshold priming, live-block skipping)
+/// and an optional stage profile.
 TopKList MaxScoreTopK(const CompressedPeerIndex& index,
                       std::span<const search::TermId> query, size_t k,
-                      const MaxScoreOptions& options, QueryStats* stats);
+                      const MaxScoreOptions& options, QueryStats* stats,
+                      StageNanos* stages = nullptr);
 
 }  // namespace qp
 }  // namespace jxp

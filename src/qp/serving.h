@@ -1,12 +1,14 @@
 #ifndef JXP_QP_SERVING_H_
 #define JXP_QP_SERVING_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/latency_recorder.h"
 #include "obs/metrics.h"
 #include "qp/query_processor.h"
 #include "qp/result_cache.h"
@@ -57,6 +59,12 @@ struct ServingOptions {
   /// queries start their heap from the best primer among their terms. Works
   /// with or without the caches; bit-identity is unconditional.
   bool threshold_priming = true;
+  /// Emit one "qp.query" trace event per served query (query id, terms,
+  /// cache_hit, postings decoded, per-stage nanoseconds) to the installed
+  /// TraceSink. Off by default: per-query events are high-volume and would
+  /// distort throughput benches. Like all telemetry, gated on
+  /// JXP_OBS_ENABLED / obs::Enabled() and never affects results.
+  bool trace_queries = false;
 };
 
 /// One query of a batch.
@@ -111,6 +119,25 @@ class QueryServer {
   /// function of the query sequence — independent of thread count.
   std::vector<ServedResult> ServeBatch(std::span<const ServedQuery> queries);
 
+  /// Serves one query on the calling thread, safe to run concurrently with
+  /// other ServeConcurrent calls (NOT with ServeBatch or AddPeer). Bypasses
+  /// both LRU caches — their recency updates are single-writer — and primes
+  /// only from the immutable per-term primer table, so results match a
+  /// cache-less server bit for bit. Stage latencies go to `recorder` when
+  /// non-null (pass a per-worker recorder and MergeFrom afterwards for
+  /// contention-free recording). This is the open-loop load harness' entry
+  /// point (bench/sustained_load.cc).
+  void ServeConcurrent(const ServedQuery& query, ServedResult& out,
+                       obs::LatencyRecorder* recorder = nullptr);
+
+  /// Installs the stage-latency sink ServeBatch records into (nullptr =
+  /// none, the default — no clocks are read). Borrowed; must outlive the
+  /// server or be reset. Latencies are diagnostics only: results and
+  /// non-timing metrics are bit-identical with or without a recorder.
+  void SetLatencyRecorder(obs::LatencyRecorder* recorder) {
+    latency_recorder_ = recorder;
+  }
+
   size_t num_peers() const { return compressed_.size(); }
   const CompressedPeerIndex& compressed(size_t i) const { return compressed_[i]; }
   /// Compressed-size stats aggregated over every frozen peer.
@@ -124,7 +151,15 @@ class QueryServer {
     TopKList results;
   };
 
-  void ServeOne(const ServedQuery& query, double primed_threshold, ServedResult& out);
+  /// `query_id` is the query's serial position in the server's lifetime
+  /// stream (assigned in ServeBatch phase 1 / ServeConcurrent issue order);
+  /// it only labels trace events. `cache_lookup_ns` / `priming_ns` were
+  /// measured by the caller's serial phase and are recorded/emitted here so
+  /// each query's stage profile lands in one place. `recorder` receives one
+  /// sample per stage when non-null.
+  void ServeOne(const ServedQuery& query, double primed_threshold, uint64_t query_id,
+                uint64_t cache_lookup_ns, uint64_t priming_ns,
+                obs::LatencyRecorder* recorder, ServedResult& out);
   /// Strict lower bound of the query's merged k-th score from term primers
   /// and the threshold cache (deflated), or 0 when nothing can prime.
   /// Mutates threshold-cache recency — call only from a serial phase.
@@ -138,6 +173,12 @@ class QueryServer {
   /// True while every frozen peer has prior_weight == 0 (TA precondition).
   bool priors_disabled_ = true;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Stage-latency sink for ServeBatch (see SetLatencyRecorder).
+  obs::LatencyRecorder* latency_recorder_ = nullptr;
+  /// Lifetime query counter, the source of trace-event query ids. Atomic
+  /// only for ServeConcurrent; ServeBatch claims ids serially in phase 1.
+  std::atomic<uint64_t> queries_served_{0};
 
   /// Best (max) freeze-time threshold primer of each term across peers.
   std::unordered_map<search::TermId, double> term_primers_;

@@ -98,5 +98,54 @@ TEST(JsonWriterTest, ScalarArrayElements) {
   EXPECT_EQ(writer.TakeLine(), "{\"xs\":[1.5,\"two\"]}");
 }
 
+TEST(JsonWriterTest, EscapesEveryControlCharacter) {
+  // All of 0x00..0x1F must come out escaped (short forms for the common
+  // ones, \u00XX otherwise) and parse back to the original byte. Trace
+  // lines carry query terms and stage names; a stray control byte must
+  // never produce an unparseable JSONL record.
+  for (int c = 0; c < 0x20; ++c) {
+    JsonWriter writer;
+    const std::string value = std::string("a") + static_cast<char>(c) + "b";
+    writer.Field("k", value);
+    const std::string line = writer.TakeLine();
+    for (const char byte : line) {
+      EXPECT_GE(static_cast<unsigned char>(byte), 0x20u)
+          << "raw control byte " << c << " leaked into: " << line;
+    }
+    JsonValue parsed;
+    ASSERT_TRUE(ParseJson(line, parsed)) << "c=" << c << " line=" << line;
+    EXPECT_EQ(parsed.Str("k"), value) << "c=" << c;
+  }
+  // DEL (0x7F) and high bytes are legal unescaped JSON; spot-check they
+  // pass through untouched.
+  JsonWriter writer;
+  writer.Field("k", "\x7f");
+  EXPECT_EQ(writer.TakeLine(), "{\"k\":\"\x7f\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesInNestedArraysBecomeNull) {
+  // The top-level Field() case is covered above; Element() inside nested
+  // scopes shares the number formatter and must apply the same null
+  // mapping (a bare `nan` token would corrupt the whole line).
+  JsonWriter writer;
+  writer.BeginArray("xs")
+      .Element(std::nan(""))
+      .Element(1.0)
+      .Element(-std::numeric_limits<double>::infinity())
+      .End();
+  writer.BeginObject("nested");
+  writer.BeginArray("ys").Element(std::numeric_limits<double>::infinity()).End();
+  writer.Field("f", std::nan(""));
+  writer.End();
+  const std::string line = writer.TakeLine();
+  EXPECT_EQ(line,
+            "{\"xs\":[null,1,null],\"nested\":{\"ys\":[null],\"f\":null}}");
+  JsonValue parsed;
+  ASSERT_TRUE(ParseJson(line, parsed));
+  const JsonValue* xs = parsed.Find("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_EQ(xs->array.size(), 3u);
+}
+
 }  // namespace
 }  // namespace jxp

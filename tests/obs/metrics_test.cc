@@ -178,8 +178,57 @@ TEST(MetricsRegistryTest, ResetZeroesEverythingKeepsHandles) {
 TEST(MetricsRegistryTest, IsTimingMetricNamingConvention) {
   EXPECT_TRUE(obs::IsTimingMetric("jxp.merge.cpu_ms"));
   EXPECT_TRUE(obs::IsTimingMetric("bench.wall_seconds"));
+  EXPECT_TRUE(obs::IsTimingMetric("jxp.qp.serve_ns"));
   EXPECT_FALSE(obs::IsTimingMetric("jxp.meetings"));
   EXPECT_FALSE(obs::IsTimingMetric("jxp.meeting.wire_bytes"));
+  // Suffix must be the whole final segment-ending, not a substring.
+  EXPECT_FALSE(obs::IsTimingMetric("jxp.qp.terms"));
+}
+
+TEST(MetricsRegistryTest, MetricNameViolationAcceptsConformingNames) {
+  for (const char* name :
+       {"jxp.meetings", "jxp.merge.cpu_ms", "jxp.qp.queries",
+        "markov.power_iteration.sweep_seconds", "jxp.qp.serve_ns",
+        "a.b.c_d_e", "plain"}) {
+    EXPECT_EQ(obs::MetricNameViolation(name), "") << name;
+  }
+}
+
+TEST(MetricsRegistryTest, MetricNameViolationRejectsBadNames) {
+  // One representative per violation class; the exact message wording is
+  // not part of the contract, only non-emptiness.
+  for (const char* name :
+       {"",                        // empty
+        "Jxp.meetings",            // uppercase
+        "jxp.merge cpu",           // space
+        "jxp.merge-cpu",           // hyphen
+        ".leading", "trailing.",   // empty dot segment at an edge
+        "jxp..merge",              // empty interior segment
+        "jxp.merge.cpu_millis",    // near-miss timing suffix
+        "jxp.merge.cpu_nanos",     // near-miss timing suffix
+        "jxp.merge.cpu_secs",      // near-miss timing suffix
+        "jxp.qp.serve_latency",    // near-miss timing suffix
+        "jxp.qp.serve_time"}) {    // near-miss timing suffix
+    EXPECT_NE(obs::MetricNameViolation(name), "") << "'" << name << "'";
+  }
+}
+
+// Registry self-check: every metric name the library actually registers
+// must conform, so the timing-metric filter in ToJsonLines(false) is
+// provably aligned with the naming convention. Exercised here against the
+// global registry as left by whatever instrumentation linked into this
+// binary; serving_test.cc repeats it after driving the full query path.
+TEST(MetricsRegistryTest, GlobalRegistryNamesConformToConvention) {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (const auto& c : snapshot.counters) {
+    EXPECT_EQ(obs::MetricNameViolation(c.name), "") << c.name;
+  }
+  for (const auto& g : snapshot.gauges) {
+    EXPECT_EQ(obs::MetricNameViolation(g.name), "") << g.name;
+  }
+  for (const auto& h : snapshot.histograms) {
+    EXPECT_EQ(obs::MetricNameViolation(h.name), "") << h.name;
+  }
 }
 
 // The determinism contract: the same multiset of observations, split across

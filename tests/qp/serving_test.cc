@@ -1,11 +1,16 @@
 #include "qp/serving.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
 #include "graph/generators.h"
+#include "obs/latency_recorder.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "search/index.h"
 
@@ -321,6 +326,142 @@ TEST(QueryServerTest, PackedCodecServesIdenticalResults) {
   ExpectSameResults(vbyte, server->ServeBatch(fx.queries), "packed vs vbyte");
   EXPECT_LT(server->index_stats().CompressedBytesPerPosting(),
             CompressedIndexStats::kUncompressedBytesPerPosting);
+}
+
+TEST(QueryServerTest, LatencyLayerDoesNotChangeResultsOrMetrics) {
+  ServingFixture fx;
+  // Reference run: no recorder, no per-query tracing.
+  obs::MetricsRegistry::Global().Reset();
+  const auto off = fx.MakeServer(ProcessorKind::kMaxScore, 2)->ServeBatch(fx.queries);
+  const std::string metrics_off =
+      obs::MetricsRegistry::Global().Snapshot().ToJsonLines(/*include_timing=*/false);
+
+  // Instrumented run: recorder installed, qp.query events on.
+  obs::MetricsRegistry::Global().Reset();
+  ServingOptions options;
+  options.processor = ProcessorKind::kMaxScore;
+  options.k = 10;
+  options.num_threads = 2;
+  options.trace_queries = true;
+  auto server = fx.MakeServerWithOptions(options);
+  obs::LatencyRecorder recorder;
+  server->SetLatencyRecorder(&recorder);
+  obs::StringTraceSink sink;
+  std::vector<ServedResult> on;
+  {
+    obs::ScopedTraceSink scoped(&sink);
+    on = server->ServeBatch(fx.queries);
+  }
+  const std::string metrics_on =
+      obs::MetricsRegistry::Global().Snapshot().ToJsonLines(/*include_timing=*/false);
+
+  ExpectSameResults(off, on, "latency layer on vs off");
+  EXPECT_EQ(metrics_on, metrics_off);
+
+  // One end-to-end sample and one qp.query event per query.
+  EXPECT_EQ(recorder.StageSnapshot(obs::LatencyStage::kTotal).count(),
+            fx.queries.size());
+  size_t events = 0;
+  for (const std::string& line : sink.TakeLines()) {
+    if (line.find("qp.query") != std::string::npos) ++events;
+  }
+  EXPECT_EQ(events, fx.queries.size());
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(QueryServerTest, QueryEventsOffByDefault) {
+  ServingFixture fx;
+  auto server = fx.MakeServer(ProcessorKind::kMaxScore, 1);
+  obs::LatencyRecorder recorder;
+  server->SetLatencyRecorder(&recorder);  // Recorder alone must not emit events.
+  obs::StringTraceSink sink;
+  {
+    obs::ScopedTraceSink scoped(&sink);
+    server->ServeBatch(fx.queries);
+  }
+  for (const std::string& line : sink.TakeLines()) {
+    EXPECT_EQ(line.find("qp.query"), std::string::npos) << line;
+  }
+  EXPECT_EQ(recorder.TotalCount(), fx.queries.size() * obs::kNumLatencyStages);
+}
+
+TEST(QueryServerTest, ResultsInvariantWithRecorderAcrossThreadCounts) {
+  // The property the load harness leans on: installing a recorder at any
+  // thread count changes neither results nor any non-timing metric.
+  ServingFixture fx;
+  std::vector<ServedResult> reference;
+  std::string baseline;
+  for (size_t threads : {1u, 2u, 4u}) {
+    obs::MetricsRegistry::Global().Reset();
+    auto server = fx.MakeServerWithOptions(CachedOptions(ProcessorKind::kMaxScore, threads));
+    obs::LatencyRecorder recorder;
+    server->SetLatencyRecorder(&recorder);
+    const auto served = server->ServeBatch(fx.queries);
+    const std::string snapshot =
+        obs::MetricsRegistry::Global().Snapshot().ToJsonLines(/*include_timing=*/false);
+    EXPECT_GT(recorder.TotalCount(), 0u);
+    if (threads == 1) {
+      reference = served;
+      baseline = snapshot;
+    } else {
+      ExpectSameResults(reference, served, "recorder-instrumented thread sweep");
+      EXPECT_EQ(snapshot, baseline) << threads << " threads";
+    }
+  }
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(QueryServerTest, ServeConcurrentMatchesServeBatch) {
+  ServingFixture fx;
+  auto server = fx.MakeServer(ProcessorKind::kMaxScore, 1);
+  const auto oracle = server->ServeBatch(fx.queries);
+
+  // Real threads, interleaved ownership, per-worker recorders (the TSan CI
+  // job runs this). ServeConcurrent bypasses the LRU caches, so against a
+  // cache-less server it must reproduce ServeBatch bit for bit.
+  constexpr size_t kThreads = 4;
+  std::vector<ServedResult> concurrent(fx.queries.size());
+  std::vector<std::unique_ptr<obs::LatencyRecorder>> recorders;
+  for (size_t t = 0; t < kThreads; ++t) {
+    recorders.push_back(std::make_unique<obs::LatencyRecorder>());
+  }
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < fx.queries.size(); i += kThreads) {
+        server->ServeConcurrent(fx.queries[i], concurrent[i], recorders[t].get());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ExpectSameResults(oracle, concurrent, "concurrent vs batch");
+  obs::LatencyRecorder merged;
+  for (const auto& r : recorders) merged.MergeFrom(*r);
+  EXPECT_EQ(merged.StageSnapshot(obs::LatencyStage::kTotal).count(),
+            fx.queries.size());
+}
+
+TEST(QueryServerTest, ServingMetricNamesConformToConvention) {
+  // Registry self-check after driving the full serving path: every metric
+  // the query pipeline registers obeys the naming convention, so the
+  // timing filter in ToJsonLines(false) provably catches all of them.
+  ServingFixture fx;
+  obs::MetricsRegistry::Global().Reset();
+  fx.MakeServerWithOptions(CachedOptions(ProcessorKind::kMaxScore, 2))
+      ->ServeBatch(fx.queries);
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_FALSE(snapshot.counters.empty());
+  for (const auto& c : snapshot.counters) {
+    EXPECT_EQ(obs::MetricNameViolation(c.name), "") << c.name;
+  }
+  for (const auto& g : snapshot.gauges) {
+    EXPECT_EQ(obs::MetricNameViolation(g.name), "") << g.name;
+  }
+  for (const auto& h : snapshot.histograms) {
+    EXPECT_EQ(obs::MetricNameViolation(h.name), "") << h.name;
+  }
+  obs::MetricsRegistry::Global().Reset();
 }
 
 TEST(QueryServerTest, PriorFusionServesConsistently) {
