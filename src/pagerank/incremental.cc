@@ -1,0 +1,209 @@
+#include "pagerank/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace jxp {
+namespace pagerank {
+
+void GaussSouthwellSolver::PushQueue(uint32_t k) {
+  queue_.push_back(k);
+  in_queue_[k] = 1;
+}
+
+uint32_t GaussSouthwellSolver::PopQueue() {
+  const uint32_t k = queue_[queue_head_++];
+  // Compact once the dead prefix dominates, keeping the amortized cost O(1).
+  if (queue_head_ > 64 && queue_head_ * 2 > queue_.size()) {
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(queue_head_));
+    queue_head_ = 0;
+  }
+  return k;
+}
+
+void GaussSouthwellSolver::BumpResidual(uint32_t k, double delta) {
+  r_[k] += delta;
+  if (!in_queue_[k] && std::abs(r_[k]) > push_threshold_) PushQueue(k);
+}
+
+void GaussSouthwellSolver::AddPending(double delta) {
+  pending_ += delta;
+  for (const uint32_t k : eager_states_) BumpResidual(k, delta * dangling_[k]);
+}
+
+void GaussSouthwellSolver::Reseed(const markov::SparseMatrix& matrix,
+                                  const std::vector<double>& teleport,
+                                  const std::vector<double>& dangling,
+                                  const GaussSouthwellOptions& options,
+                                  std::vector<double> x) {
+  const size_t n = matrix.NumStates();
+  JXP_CHECK_EQ(teleport.size(), n);
+  JXP_CHECK_EQ(dangling.size(), n);
+  JXP_CHECK_EQ(x.size(), n);
+  JXP_CHECK_GT(options.tolerance, 0.0);
+  JXP_CHECK_GT(options.damping, 0.0);
+  JXP_CHECK_LT(options.damping, 1.0);
+  options_ = options;
+  push_threshold_ = 0.5 * options.tolerance;
+  pending_limit_ = 0.5 * options.tolerance;
+  teleport_ = teleport;
+  dangling_ = dangling;
+  // States holding far more than a uniform dangling share (in the extended
+  // system, the world state holds nearly all of it) get their pending
+  // contribution folded eagerly; the dense-flush trigger then only has to
+  // cover the largest *lazy* share, which is ~1/N, so flushes stay rare.
+  eager_states_.clear();
+  eager_mask_.assign(n, 0);
+  max_lazy_dangling_ = 0;
+  for (uint32_t k = 0; k < n; ++k) {
+    if (dangling_[k] * static_cast<double>(n) > 8.0) {
+      eager_states_.push_back(k);
+      eager_mask_[k] = 1;
+    } else {
+      max_lazy_dangling_ = std::max(max_lazy_dangling_, dangling_[k]);
+    }
+  }
+  x_ = std::move(x);
+
+  // Dense residual r = c + xM - x with the dangling (rank-one) term folded
+  // in directly; pending_ restarts at zero.
+  r_.assign(n, 0.0);
+  const double jump = 1.0 - options_.damping;
+  double missing = 0;  // sum_i x_i * (1 - RowSum(i))
+  for (uint32_t i = 0; i < n; ++i) {
+    const double xi = x_[i];
+    missing += xi * (1.0 - matrix.RowSum(i));
+    if (xi == 0) continue;
+    for (const markov::MatrixEntry& e : matrix.Row(i)) {
+      r_[e.column] += xi * options_.damping * e.weight;
+    }
+  }
+  for (uint32_t k = 0; k < n; ++k) {
+    r_[k] += jump * teleport_[k] + options_.damping * missing * dangling_[k] - x_[k];
+  }
+  pending_ = 0;
+
+  queue_.clear();
+  queue_head_ = 0;
+  in_queue_.assign(n, 0);
+  touched_.assign(n, 0);
+  for (uint32_t k = 0; k < n; ++k) {
+    if (std::abs(r_[k]) > push_threshold_) PushQueue(k);
+  }
+  valid_ = true;
+}
+
+bool GaussSouthwellSolver::TeleportMatches(const std::vector<double>& teleport,
+                                           const std::vector<double>& dangling) const {
+  return valid_ && teleport == teleport_ && dangling == dangling_;
+}
+
+void GaussSouthwellSolver::ApplySolutionDelta(const markov::SparseMatrix& matrix,
+                                              uint32_t i, double delta, size_t& work) {
+  // x_i moving by delta moves (xM)_k by delta * M_ik and -x_i by -delta:
+  //   r_k += delta * damping * P_ik     (sparse row entries)
+  //   r_i -= delta
+  //   pending += delta * damping * (1 - RowSum(i))   (rank-one dangling term)
+  x_[i] += delta;
+  BumpResidual(i, -delta);
+  const auto row = matrix.Row(i);
+  for (const markov::MatrixEntry& e : row) {
+    BumpResidual(e.column, delta * options_.damping * e.weight);
+  }
+  AddPending(delta * options_.damping * (1.0 - matrix.RowSum(i)));
+  work += row.size() + 1 + eager_states_.size();
+}
+
+void GaussSouthwellSolver::UpdateSolutionEntry(const markov::SparseMatrix& matrix,
+                                               uint32_t i, double value) {
+  JXP_CHECK(valid_);
+  JXP_CHECK_LT(i, x_.size());
+  size_t work = 0;
+  ApplySolutionDelta(matrix, i, value - x_[i], work);
+}
+
+void GaussSouthwellSolver::UpdateRow(const markov::SparseMatrix& matrix, uint32_t row,
+                                     std::span<const markov::MatrixEntry> old_row,
+                                     double old_row_sum) {
+  JXP_CHECK(valid_);
+  JXP_CHECK_LT(row, x_.size());
+  // Row `row` moving from P_old to P_new moves (xM)_k by
+  // x_row * damping * (P_new - P_old)_k, and the row's dangling complement
+  // by x_row * damping * (old_sum - new_sum).
+  const double scale = x_[row] * options_.damping;
+  if (scale != 0) {
+    for (const markov::MatrixEntry& e : old_row) {
+      BumpResidual(e.column, -scale * e.weight);
+    }
+    for (const markov::MatrixEntry& e : matrix.Row(row)) {
+      BumpResidual(e.column, scale * e.weight);
+    }
+    AddPending(scale * (old_row_sum - matrix.RowSum(row)));
+  }
+}
+
+size_t GaussSouthwellSolver::CountDirty() const {
+  JXP_CHECK(valid_);
+  size_t dirty = 0;
+  for (size_t k = 0; k < r_.size(); ++k) {
+    const double lazy = eager_mask_[k] ? 0.0 : pending_ * dangling_[k];
+    if (std::abs(r_[k] + lazy) > options_.tolerance) ++dirty;
+  }
+  return dirty;
+}
+
+void GaussSouthwellSolver::FlushPending(size_t& work) {
+  // Eager states already carry their full pending contribution in r_, so
+  // only the lazy tail is distributed here.
+  const double pending = pending_;
+  pending_ = 0;
+  for (uint32_t k = 0; k < static_cast<uint32_t>(r_.size()); ++k) {
+    if (!eager_mask_[k]) BumpResidual(k, pending * dangling_[k]);
+  }
+  work += r_.size();
+}
+
+GaussSouthwellResult GaussSouthwellSolver::Solve(const markov::SparseMatrix& matrix) {
+  JXP_CHECK(valid_);
+  JXP_CHECK_EQ(matrix.NumStates(), x_.size());
+  GaussSouthwellResult result;
+  std::fill(touched_.begin(), touched_.end(), 0);
+  for (;;) {
+    // Deferred dangling mass is only distributed when it could lift an entry
+    // past the push threshold; the first check also covers mass accumulated
+    // by UpdateRow / UpdateSolutionEntry calls since the last Solve.
+    if (std::abs(pending_) * max_lazy_dangling_ > pending_limit_) {
+      FlushPending(result.work_entries);
+      ++result.flushes;
+    }
+    if (QueueEmpty()) break;
+    while (!QueueEmpty()) {
+      if (options_.max_pushes != 0 && result.pushes >= options_.max_pushes) {
+        return result;  // converged stays false; caller falls back.
+      }
+      const uint32_t i = PopQueue();
+      in_queue_[i] = 0;
+      const double ri = r_[i];
+      if (std::abs(ri) <= push_threshold_) continue;  // Settled since queued.
+      ApplySolutionDelta(matrix, i, ri, result.work_entries);
+      ++result.pushes;
+      if (!touched_[i]) {
+        touched_[i] = 1;
+        ++result.touched_rows;
+      }
+      if (std::abs(pending_) * max_lazy_dangling_ > pending_limit_) {
+        FlushPending(result.work_entries);
+        ++result.flushes;
+      }
+    }
+  }
+  // Queue empty and pending below its limit: every effective residual entry
+  // is within push_threshold_ + pending_limit_ = tolerance.
+  result.converged = true;
+  return result;
+}
+
+}  // namespace pagerank
+}  // namespace jxp

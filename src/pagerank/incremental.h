@@ -1,0 +1,182 @@
+#ifndef JXP_PAGERANK_INCREMENTAL_H_
+#define JXP_PAGERANK_INCREMENTAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "markov/sparse_matrix.h"
+
+namespace jxp {
+namespace pagerank {
+
+/// Tuning of the Gauss–Southwell residual-push solver.
+struct GaussSouthwellOptions {
+  /// Link-following probability of the PageRank system being solved.
+  double damping = 0.85;
+  /// Residual infinity-norm target: the solver pushes until every entry of
+  /// the effective residual r = c + xM - x satisfies |r_k| <= tolerance.
+  /// The solution error is then bounded by ||r||_1 / (1 - damping) in L1
+  /// (see DESIGN.md §6j).
+  double tolerance = 1e-12;
+  /// Push cap per Solve call; exceeding it returns converged = false so the
+  /// caller can fall back to full power iteration. 0 = uncapped.
+  size_t max_pushes = 0;
+};
+
+/// Outcome of one Solve call.
+struct GaussSouthwellResult {
+  /// True iff the residual target was reached within the push cap.
+  bool converged = false;
+  /// Residual pushes performed (each relaxes one state).
+  size_t pushes = 0;
+  /// Distinct states pushed at least once.
+  size_t touched_rows = 0;
+  /// Dense flushes of the lazily accumulated dangling-mass residual.
+  size_t flushes = 0;
+  /// Matrix entries (plus dense vector slots) read or written — the
+  /// apples-to-apples work counter the churn bench compares against
+  /// iterations * NumEntries() of full power iteration.
+  size_t work_entries = 0;
+};
+
+/// Incremental stationary-distribution solver for the substochastic PageRank
+/// systems of markov::StationaryDistribution:
+///
+///   x = x * M + c,   M = damping * (P + complement ⊗ dangling),
+///   c = (1 - damping) * teleport,   complement_i = 1 - RowSum(i),
+///
+/// whose unique fixed point is the stationary distribution (it sums to 1
+/// when teleport does). The solver keeps a candidate solution x and its
+/// residual r = c + xM - x across calls, and repairs the solution after
+/// *local* changes — a few combined scores, a regenerated world row — by
+/// Gauss–Southwell residual pushes instead of full power iteration:
+///
+///   push at i:  x_i += r_i;  r += r_i * (M_i - e_i)
+///
+/// Each push moves |r_i| of residual mass through row i and destroys a
+/// (1 - damping) fraction of it (M's rows sum to at most damping), so the
+/// residual L1 norm decreases monotonically and the number of pushes to
+/// reach ||r||_inf <= tol is bounded by ||r_seed||_1 / ((1-damping) * tol).
+///
+/// The dangling term is rank-one (every row adds complement_i * dangling),
+/// so pushes do not touch it entry by entry: its coefficient accumulates in
+/// a scalar (`pending_`) and is flushed densely only when it could matter
+/// at the tolerance scale. States holding an outsized dangling share (in
+/// the extended system, the world state carries nearly all of it) are
+/// folded *eagerly* on every pending change instead — O(1) per push — so
+/// the dense-flush trigger scales with the largest *lazy* share (~1/N) and
+/// flushes stay rare even at tight tolerances. All updates are sequential
+/// and deterministic: the work queue is FIFO, seeded in ascending state
+/// order.
+///
+/// The solver never normalizes: the exact fixed point already sums to 1, and
+/// the caller's tolerance bounds the drift of an approximate one.
+class GaussSouthwellSolver {
+ public:
+  /// True once Reseed has run and no Invalidate intervened. All other calls
+  /// except Reseed require a valid solver.
+  bool valid() const { return valid_; }
+
+  /// Dimension of the system the state describes.
+  size_t num_states() const { return x_.size(); }
+
+  /// The current candidate solution.
+  std::span<const double> solution() const { return x_; }
+
+  /// The options of the last Reseed.
+  const GaussSouthwellOptions& options() const { return options_; }
+
+  /// Drops the state; the next use must Reseed. Called when the system is
+  /// replaced wholesale (fragment churn re-indexes every state).
+  void Invalidate() { valid_ = false; }
+
+  /// (Re)binds the solver to a system and a starting guess `x`, computing
+  /// the dense residual in O(entries + states). The teleport and dangling
+  /// vectors are copied and must be bit-identical on later delta calls
+  /// (checked by TeleportMatches).
+  void Reseed(const markov::SparseMatrix& matrix, const std::vector<double>& teleport,
+              const std::vector<double>& dangling, const GaussSouthwellOptions& options,
+              std::vector<double> x);
+
+  /// True iff `teleport` and `dangling` equal the vectors captured at
+  /// Reseed bit for bit. A mismatch (the global size estimate moved) means
+  /// the cheap delta path is invalid and the caller must Reseed.
+  bool TeleportMatches(const std::vector<double>& teleport,
+                       const std::vector<double>& dangling) const;
+
+  /// Folds an external overwrite of solution entry `i` (a meeting combined
+  /// a new score into it) into the residual in O(row degree). The matrix
+  /// row `i` must be unchanged since the state last saw it.
+  void UpdateSolutionEntry(const markov::SparseMatrix& matrix, uint32_t i, double value);
+
+  /// Folds an in-place rewrite of matrix row `row` (the world row after a
+  /// meeting or a denominator rescale) into the residual in
+  /// O(|old row| + |new row|). `old_row` / `old_row_sum` are the row's
+  /// contents *before* the rewrite; the matrix already holds the new row.
+  void UpdateRow(const markov::SparseMatrix& matrix, uint32_t row,
+                 std::span<const markov::MatrixEntry> old_row, double old_row_sum);
+
+  /// Number of states whose effective residual exceeds the tolerance — the
+  /// dirty set the fallback threshold is measured against. O(states).
+  size_t CountDirty() const;
+
+  /// Pushes until the effective residual infinity-norm is below the
+  /// tolerance or the push cap is hit. The matrix must be the one the
+  /// residual was maintained against.
+  GaussSouthwellResult Solve(const markov::SparseMatrix& matrix);
+
+ private:
+  /// Adds `delta` to r_[k] and maintains the work queue.
+  void BumpResidual(uint32_t k, double delta);
+
+  /// Adds `delta` to the rank-one dangling coefficient, folding the share
+  /// of eager (high-dangling) states into their residuals immediately.
+  void AddPending(double delta);
+
+  /// Applies a solution change x_[i] += delta to the residual (shared by
+  /// pushes and UpdateSolutionEntry).
+  void ApplySolutionDelta(const markov::SparseMatrix& matrix, uint32_t i, double delta,
+                          size_t& work);
+
+  /// Distributes the pending dangling residual densely; O(states).
+  void FlushPending(size_t& work);
+
+  void PushQueue(uint32_t k);
+  uint32_t PopQueue();
+  bool QueueEmpty() const { return queue_head_ >= queue_.size(); }
+
+  bool valid_ = false;
+  GaussSouthwellOptions options_;
+  /// Push when |r| exceeds this; half the tolerance so the flushed-in
+  /// pending share cannot lift a settled entry above the target.
+  double push_threshold_ = 0;
+  /// Flush when |pending_| * max_lazy_dangling_ exceeds this (the other
+  /// half).
+  double pending_limit_ = 0;
+  /// Largest dangling share among *lazy* (non-eager) states.
+  double max_lazy_dangling_ = 0;
+  std::vector<double> teleport_;
+  std::vector<double> dangling_;
+  /// States whose dangling share is far above uniform; their pending
+  /// contribution is folded into r_ eagerly on every AddPending.
+  std::vector<uint32_t> eager_states_;
+  std::vector<uint8_t> eager_mask_;
+  std::vector<double> x_;
+  /// Residual minus the lazily accumulated dangling term: the effective
+  /// residual is r_[k] + pending_ * dangling_[k] for lazy states, and
+  /// r_[k] alone for eager ones (their share is folded in continuously).
+  std::vector<double> r_;
+  double pending_ = 0;
+  /// FIFO work queue of states whose |r_| exceeds the push threshold.
+  std::vector<uint32_t> queue_;
+  size_t queue_head_ = 0;
+  std::vector<uint8_t> in_queue_;
+  /// Per-Solve scratch marking states already counted as touched.
+  std::vector<uint8_t> touched_;
+};
+
+}  // namespace pagerank
+}  // namespace jxp
+
+#endif  // JXP_PAGERANK_INCREMENTAL_H_

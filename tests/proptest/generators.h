@@ -56,6 +56,71 @@ struct GeneratedWorld {
 
 GeneratedWorld BuildWorld(const FaultCase& c);
 
+/// One event of a churn schedule: a meeting between two peers, or a
+/// fragment change (peer re-crawl) of one peer.
+struct ChurnEvent {
+  enum class Kind : uint8_t {
+    kMeeting,
+    /// The peer crawls one page it did not hold.
+    kFragmentAdd,
+    /// The peer drops one of its pages (never the last one).
+    kFragmentRemove,
+    /// The peer swaps one page: drop one, crawl another.
+    kFragmentEdit,
+  };
+  Kind kind = Kind::kMeeting;
+  /// Meeting participants (kMeeting, peer_a != peer_b), or the churned peer
+  /// (fragment events; peer_b unused).
+  size_t peer_a = 0;
+  size_t peer_b = 0;
+  /// Per-event randomness of the fragment mutation / meeting processing.
+  uint64_t seed = 0;
+};
+
+/// A randomized churn schedule: meetings interleaved with fragment
+/// add/remove/edit events over a fixed global graph (churn re-partitions the
+/// graph, so centralized PageRank — the oracle — is unchanged by it).
+/// Everything heavy is a pure function of the parameters below; see
+/// FaultCase for the reproducibility contract. The fault plan defaults to
+/// clean and exists so the fault suite can combine churn with message
+/// faults.
+struct ChurnCase {
+  uint64_t seed = 0;
+  size_t num_nodes = 40;
+  size_t num_peers = 3;
+  size_t num_events = 60;
+  /// Probability that an event is a fragment change instead of a meeting.
+  double churn_probability = 0.2;
+  bool full_merge = false;
+  p2p::FaultPlan plan;
+
+  std::string Describe() const;
+
+  /// Shrink candidates: halved sizes, churn disabled, light-weight merge,
+  /// individually-disabled faults — each keeping the same seed.
+  std::vector<ChurnCase> Shrink() const;
+};
+
+/// Draws a random churn case under `limits` (faults off with the default
+/// limits): 16-56 nodes, 2-5 peers, 24-96 events, churn probability in
+/// [0.1, 0.4].
+ChurnCase GenerateChurnCase(uint64_t seed, const PlanLimits& limits = PlanLimits());
+
+/// The case's world; same construction as the FaultCase overload.
+GeneratedWorld BuildWorld(const ChurnCase& c);
+
+/// The case's event sequence (length num_events), derived purely from the
+/// case parameters. Fragment events rotate add/remove/edit and pick a
+/// random peer; meetings pick a random ordered peer pair.
+std::vector<ChurnEvent> BuildChurnSchedule(const ChurnCase& c);
+
+/// Applies a fragment event to `pages` (the peer's current page set) over a
+/// global graph of `num_nodes` pages, returning the new set. Deterministic
+/// in the event's seed; degenerates to a no-op when the requested mutation
+/// is impossible (nothing left to add / remove). The result is never empty.
+std::vector<graph::PageId> ApplyChurnEvent(const ChurnEvent& e, size_t num_nodes,
+                                           std::vector<graph::PageId> pages);
+
 }  // namespace proptest
 }  // namespace jxp
 
