@@ -1,0 +1,468 @@
+// Multi-process loopback cluster driver (DESIGN.md §6k): forks N peer
+// daemons, each owning one JXP peer loaded from a shared initial state,
+// replays the exact meeting schedule of an in-process JxpSimulation oracle
+// through the control protocol, and verifies that the networked cluster
+// converges to *bit-identical* scores. With --chaos, every daemon fronts
+// itself with a fault-injecting proxy and the run instead verifies crash-free
+// degradation plus exact injected-vs-detected fault accounting.
+//
+//   net_cluster --peers=8 --meetings=64 --nodes=400 --seed=7 \
+//       --out-dir=/tmp/net_cluster [--chaos --drop=0.05 --truncate=0.05 \
+//       --corrupt=0.05] [--restart-peer=0]
+//
+// Exit code 0 = all checks passed. Per-daemon JSONL telemetry is written to
+// <out-dir>/peer_<id>.jsonl; the driver prints a one-line JSON summary.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "core/jxp_peer.h"
+#include "core/simulation.h"
+#include "core/state_io.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "net/chaos_proxy.h"
+#include "net/control_client.h"
+#include "net/event_loop.h"
+#include "net/peer_daemon.h"
+#include "obs/json_writer.h"
+
+namespace jxp {
+namespace {
+
+struct ClusterConfig {
+  size_t peers = 8;
+  size_t meetings = 64;
+  size_t nodes = 400;
+  uint64_t seed = 7;
+  std::string out_dir = "/tmp/net_cluster";
+  /// Thm 5.3 sampling cadence (meetings between checkpoints).
+  size_t check_every = 16;
+  /// Peer to SIGTERM + restart-from-checkpoint halfway through (-1 = none).
+  int64_t restart_peer = 0;
+  bool chaos = false;
+  double drop = 0.05;
+  double truncate = 0.05;
+  double corrupt = 0.05;
+};
+
+core::JxpOptions PeerOptions() {
+  core::JxpOptions options;
+  options.wire_mode = core::MeetingWireMode::kMeasured;
+  return options;
+}
+
+/// Random overlapping fragments: every node lands on 2 peers, and every
+/// peer gets a contiguous base share so none is empty.
+std::vector<std::vector<graph::PageId>> MakeFragments(size_t nodes, size_t peers,
+                                                      uint64_t seed) {
+  std::vector<std::vector<graph::PageId>> fragments(peers);
+  Random rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (graph::PageId page = 0; page < nodes; ++page) {
+    const size_t base = page % peers;
+    fragments[base].push_back(page);
+    const size_t extra = static_cast<size_t>(rng.NextBounded(peers));
+    if (extra != base) fragments[extra].push_back(page);
+  }
+  return fragments;
+}
+
+std::string StatePath(const std::string& dir, const char* kind, size_t peer) {
+  return dir + "/" + kind + "_peer_" + std::to_string(peer) + ".jxp";
+}
+
+// ---------------------------------------------------------------------------
+// Daemon child process.
+
+int g_shutdown_write_fd = -1;
+
+void OnSigTerm(int) {
+  const uint8_t byte = 1;
+  // write() is async-signal-safe; everything else happens on the loop.
+  (void)!::write(g_shutdown_write_fd, &byte, 1);
+}
+
+/// Child body: load state, serve until SIGTERM, checkpoint, dump telemetry,
+/// exit 0. Reports "<bound_port> <advertised_port>\n" on `report_fd`.
+int RunDaemon(const ClusterConfig& config, size_t peer_id,
+              const std::string& state_in, int report_fd) {
+  StatusOr<core::JxpPeer> loaded = core::LoadPeerState(state_in, PeerOptions());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "peer %zu: load failed: %s\n", peer_id,
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+
+  int shutdown_pipe[2];
+  if (::pipe(shutdown_pipe) != 0) return 1;
+  g_shutdown_write_fd = shutdown_pipe[1];
+  struct sigaction action = {};
+  action.sa_handler = OnSigTerm;
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  net::PeerDaemonOptions options;
+  options.state_path = StatePath(config.out_dir, "ckpt", peer_id);
+  options.shutdown_fd = shutdown_pipe[0];
+  options.rng_seed = config.seed + peer_id;
+  net::EventLoop loop;
+  net::PeerDaemon daemon(std::make_unique<core::JxpPeer>(std::move(loaded.value())),
+                         options);
+  if (Status status = daemon.Start(&loop); !status.ok()) {
+    std::fprintf(stderr, "peer %zu: start failed: %s\n", peer_id,
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<net::ChaosProxy> proxy;
+  if (config.chaos) {
+    net::ChaosProxyOptions proxy_options;
+    proxy_options.target_port = daemon.bound_port();
+    proxy_options.plan.message_drop_probability = config.drop;
+    proxy_options.plan.truncation_probability = config.truncate;
+    proxy_options.plan.corruption_probability = config.corrupt;
+    proxy_options.seed = config.seed * 1000003 + peer_id;
+    proxy = std::make_unique<net::ChaosProxy>(proxy_options);
+    if (Status status = proxy->Start(); !status.ok()) {
+      std::fprintf(stderr, "peer %zu: proxy start failed: %s\n", peer_id,
+                   status.ToString().c_str());
+      return 1;
+    }
+    daemon.set_advertised_port(proxy->bound_port());
+  }
+
+  char report[64];
+  std::snprintf(report, sizeof(report), "%u %u\n", daemon.bound_port(),
+                daemon.advertised_port());
+  if (::write(report_fd, report, std::strlen(report)) < 0) return 1;
+  ::close(report_fd);
+
+  loop.Run();  // Until SIGTERM -> shutdown_fd -> BeginShutdown -> Stop.
+  if (proxy != nullptr) proxy->Stop();
+
+  // Per-peer JSONL telemetry: one line of final daemon (and injector)
+  // accounting, aggregated by the driver after the children exit.
+  const net::DaemonStats& stats = daemon.stats();
+  obs::JsonWriter line;
+  line.Field("peer_id", peer_id)
+      .Field("num_meetings", daemon.peer().num_meetings())
+      .Field("world_score", daemon.peer().world_score())
+      .Field("accepts", stats.accepts)
+      .Field("dials", stats.dials)
+      .Field("meetings_initiated", stats.meetings_initiated)
+      .Field("meetings_accepted", stats.meetings_accepted)
+      .Field("meetings_declined", stats.meetings_declined)
+      .Field("meeting_failures", stats.meeting_failures)
+      .Field("truncations_detected", stats.truncations_detected)
+      .Field("corruptions_detected", stats.corruptions_detected)
+      .Field("bytes_sent", stats.bytes_sent)
+      .Field("bytes_received", stats.bytes_received)
+      .Field("wasted_bytes", stats.wasted_bytes)
+      .Field("checkpoints", stats.checkpoints)
+      .Field("protocol_errors", stats.protocol_errors);
+  if (proxy != nullptr) {
+    const net::ChaosProxyStats injected = proxy->stats();
+    line.Field("injected_dropped", injected.blobs_dropped)
+        .Field("injected_truncated", injected.blobs_truncated)
+        .Field("injected_corrupted", injected.blobs_corrupted)
+        .Field("blobs_forwarded", injected.blobs_forwarded);
+  }
+  std::ofstream out(config.out_dir + "/peer_" + std::to_string(peer_id) + ".jsonl",
+                    std::ios::app);
+  out << line.TakeLine() << "\n";
+  return out.good() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+struct Child {
+  pid_t pid = -1;
+  uint16_t bound_port = 0;
+  uint16_t advertised_port = 0;
+};
+
+/// Forks one daemon child and reads back its ports.
+bool SpawnDaemon(const ClusterConfig& config, size_t peer_id,
+                 const std::string& state_in, Child* child) {
+  int report_pipe[2];
+  if (::pipe(report_pipe) != 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::close(report_pipe[0]);
+    ::_exit(RunDaemon(config, peer_id, state_in, report_pipe[1]));
+  }
+  ::close(report_pipe[1]);
+  char buffer[64] = {};
+  size_t filled = 0;
+  while (filled < sizeof(buffer) - 1) {
+    const ssize_t got = ::read(report_pipe[0], buffer + filled,
+                               sizeof(buffer) - 1 - filled);
+    if (got <= 0) break;
+    filled += static_cast<size_t>(got);
+    if (std::memchr(buffer, '\n', filled) != nullptr) break;
+  }
+  ::close(report_pipe[0]);
+  unsigned bound = 0, advertised = 0;
+  if (std::sscanf(buffer, "%u %u", &bound, &advertised) != 2) {
+    std::fprintf(stderr, "driver: peer %zu failed to report ports\n", peer_id);
+    return false;
+  }
+  child->pid = pid;
+  child->bound_port = static_cast<uint16_t>(bound);
+  child->advertised_port = static_cast<uint16_t>(advertised);
+  return true;
+}
+
+/// SIGTERMs a child and reaps it; true iff it exited cleanly with 0.
+bool StopDaemon(Child* child) {
+  if (child->pid < 0) return true;
+  ::kill(child->pid, SIGTERM);
+  int wstatus = 0;
+  if (::waitpid(child->pid, &wstatus, 0) != child->pid) return false;
+  child->pid = -1;
+  return WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+}
+
+/// Reads one aggregated uint64 field from every per-peer JSONL file (the
+/// files hold a single flat object per line, so a string scan suffices).
+uint64_t SumJsonlField(const ClusterConfig& config, const std::string& field) {
+  uint64_t total = 0;
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    std::ifstream in(config.out_dir + "/peer_" + std::to_string(peer) + ".jsonl");
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string needle = "\"" + field + "\":";
+      const size_t at = line.find(needle);
+      if (at == std::string::npos) continue;
+      total += std::strtoull(line.c_str() + at + needle.size(), nullptr, 10);
+    }
+  }
+  return total;
+}
+
+int RunDriver(const ClusterConfig& config) {
+  std::string mkdir = "mkdir -p " + config.out_dir;
+  if (std::system(mkdir.c_str()) != 0) return 1;
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    std::remove((config.out_dir + "/peer_" + std::to_string(peer) + ".jsonl").c_str());
+  }
+
+  // --- Oracle: the same cluster, in-process, on the same seed/schedule.
+  Random graph_rng(config.seed);
+  const graph::Graph global = graph::BarabasiAlbert(config.nodes, 3, graph_rng);
+  core::SimulationConfig sim_config;
+  sim_config.jxp = PeerOptions();
+  sim_config.seed = config.seed;
+  sim_config.record_meeting_log = true;
+  core::JxpSimulation oracle(global, MakeFragments(config.nodes, config.peers, config.seed),
+                             sim_config);
+  if (Status status = oracle.SaveAllPeerStates(config.out_dir); !status.ok()) {
+    std::fprintf(stderr, "driver: save initial states: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  // SaveAllPeerStates writes peer_<id>.jxp; rename to the "init" scheme so
+  // checkpoints cannot collide with them.
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    const std::string from = config.out_dir + "/peer_" + std::to_string(peer) + ".jxp";
+    std::rename(from.c_str(), StatePath(config.out_dir, "init", peer).c_str());
+  }
+  oracle.RunMeetings(config.meetings);
+  const auto& schedule = oracle.meeting_log();
+  std::fprintf(stderr, "driver: oracle done, %zu meetings scheduled\n",
+               schedule.size());
+
+  // --- Fork the cluster.
+  std::vector<Child> children(config.peers);
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    if (!SpawnDaemon(config, peer, StatePath(config.out_dir, "init", peer),
+                     &children[peer])) {
+      std::fprintf(stderr, "driver: spawn of peer %zu failed\n", peer);
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "driver: %zu daemons up\n", config.peers);
+
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "driver: CHECK FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+
+  // --- Replay the oracle's schedule through the control protocol.
+  size_t restarted_at = 0;
+  size_t commanded = 0, applied = 0, torn = 0;
+  for (size_t m = 0; m < schedule.size(); ++m) {
+    // Mid-run graceful restart: SIGTERM -> checkpoint -> re-fork from the
+    // checkpoint. In clean mode the final bit-identity check proves the
+    // round trip lost nothing.
+    if (config.restart_peer >= 0 && m == schedule.size() / 2 &&
+        static_cast<size_t>(config.restart_peer) < config.peers) {
+      const size_t target = static_cast<size_t>(config.restart_peer);
+      check(StopDaemon(&children[target]), "restarted daemon exited cleanly");
+      check(SpawnDaemon(config, target, StatePath(config.out_dir, "ckpt", target),
+                        &children[target]),
+            "restarted daemon came back");
+      restarted_at = m;
+    }
+
+    const auto [initiator, partner] = schedule[m];
+    net::ControlClient control;
+    Status status = control.Connect(children[initiator].bound_port);
+    net::MeetResultMessage result;
+    if (status.ok()) {
+      status = control.Meet(partner, children[partner].advertised_port, &result);
+    }
+    check(status.ok(), "meet command round trip");
+    ++commanded;
+    if (result.applied) ++applied;
+    if (result.salvaged) ++torn;
+    if (!config.chaos) {
+      check(result.applied && !result.salvaged, "clean meeting applied exactly");
+    }
+
+    // --- Thm 5.3 sampling: networked scores never overestimate true PR.
+    if ((m + 1) % config.check_every == 0 || m + 1 == schedule.size()) {
+      constexpr double kUpperBoundSlack = 1e-9;
+      for (size_t peer = 0; peer < config.peers; ++peer) {
+        net::ControlClient sampler;
+        if (!sampler.Connect(children[peer].bound_port).ok()) {
+          check(false, "sampler connect");
+          continue;
+        }
+        net::ScoresReplyMessage scores;
+        if (!sampler.GetScores(&scores).ok()) {
+          check(false, "sampler scores");
+          continue;
+        }
+        for (const net::ScoreEntry& entry : scores.entries) {
+          if (entry.score > oracle.global_scores()[entry.page] + kUpperBoundSlack) {
+            check(false, "Theorem 5.3 never-overestimate at checkpoint");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Final verification against the oracle.
+  double max_abs_diff = 0;
+  if (!config.chaos) {
+    for (size_t peer = 0; peer < config.peers; ++peer) {
+      net::ControlClient control;
+      if (!control.Connect(children[peer].bound_port).ok()) {
+        check(false, "final connect");
+        continue;
+      }
+      net::ScoresReplyMessage scores;
+      if (!control.GetScores(&scores).ok()) {
+        check(false, "final scores");
+        continue;
+      }
+      const core::JxpPeer& expect = oracle.peers()[peer];
+      check(scores.world_score == expect.world_score(), "world score bit-identical");
+      check(scores.entries.size() == expect.local_scores().size(),
+            "local page count matches");
+      const graph::Subgraph& fragment = expect.fragment();
+      for (const net::ScoreEntry& entry : scores.entries) {
+        const graph::Subgraph::LocalIndex local = fragment.LocalIndexOf(entry.page);
+        if (local == graph::Subgraph::kNotLocal) {
+          check(false, "page present in oracle fragment");
+          continue;
+        }
+        const double diff = std::abs(entry.score - expect.local_scores()[local]);
+        if (diff > max_abs_diff) max_abs_diff = diff;
+        if (entry.score != expect.local_scores()[local]) {
+          check(false, "local score bit-identical to oracle");
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Shutdown and aggregate telemetry.
+  // Torn-transfer detections on the responder side are EOF events, not
+  // ordered with the initiator's MeetResult; give the loops a beat to
+  // drain them before the final stats are frozen.
+  ::usleep(300000);
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    check(StopDaemon(&children[peer]), "daemon exited cleanly with 0");
+  }
+  const uint64_t detected_truncations = SumJsonlField(config, "truncations_detected");
+  const uint64_t detected_corruptions = SumJsonlField(config, "corruptions_detected");
+  const uint64_t wasted = SumJsonlField(config, "wasted_bytes");
+  uint64_t injected_torn = 0, injected_corrupted = 0;
+  if (config.chaos) {
+    injected_torn = SumJsonlField(config, "injected_dropped") +
+                    SumJsonlField(config, "injected_truncated");
+    injected_corrupted = SumJsonlField(config, "injected_corrupted");
+    // Exact accounting: every injected fault is detected exactly once.
+    check(detected_truncations == injected_torn,
+          "injected drops+truncations == detected truncations");
+    check(detected_corruptions == injected_corrupted,
+          "injected corruptions == detected corruptions");
+    check(injected_corrupted == 0 || wasted > 0, "corruption produced wasted bytes");
+  } else {
+    check(detected_truncations == 0, "no truncations in clean run");
+    check(detected_corruptions == 0, "no corruptions in clean run");
+    check(wasted == 0, "no wasted bytes in clean run");
+  }
+
+  obs::JsonWriter summary;
+  summary.Field("bench", "net_cluster")
+      .Field("peers", config.peers)
+      .Field("meetings", commanded)
+      .Field("applied", applied)
+      .Field("salvaged", torn)
+      .Field("chaos", config.chaos)
+      .Field("restarted_at_meeting", restarted_at)
+      .Field("max_abs_score_diff", max_abs_diff)
+      .Field("detected_truncations", detected_truncations)
+      .Field("detected_corruptions", detected_corruptions)
+      .Field("injected_torn", injected_torn)
+      .Field("injected_corrupted", injected_corrupted)
+      .Field("wasted_bytes", wasted)
+      .Field("failures", failures);
+  std::printf("%s\n", summary.TakeLine().c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace jxp
+
+int main(int argc, char** argv) {
+  jxp::Flags flags;
+  if (jxp::Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  jxp::ClusterConfig config;
+  config.peers = static_cast<size_t>(flags.GetInt("peers", 8));
+  config.meetings = static_cast<size_t>(flags.GetInt("meetings", 64));
+  config.nodes = static_cast<size_t>(flags.GetInt("nodes", 400));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  config.out_dir = flags.GetString("out-dir", flags.GetString("out_dir", "/tmp/net_cluster"));
+  config.check_every = static_cast<size_t>(flags.GetInt("check-every", 16));
+  config.restart_peer = flags.GetInt("restart-peer", 0);
+  config.chaos = flags.GetBool("chaos", false);
+  config.drop = flags.GetDouble("drop", 0.05);
+  config.truncate = flags.GetDouble("truncate", 0.05);
+  config.corrupt = flags.GetDouble("corrupt", 0.05);
+  return jxp::RunDriver(config);
+}

@@ -151,6 +151,33 @@ double JxpPeer::ScoreOfGlobal(graph::PageId page) const {
   return i == graph::Subgraph::kNotLocal ? 0.0 : scores_[i];
 }
 
+std::vector<uint8_t> JxpPeer::EncodeMeetingBytes() const {
+  const PeerView view = MakeView();
+  return EncodeMeetingMessage(*view.fragment, view.scores, view.world,
+                              options_.estimate_global_size ? view.page_sketch
+                                                            : nullptr);
+}
+
+RemoteMeetingApply JxpPeer::ApplyMeetingBytes(std::span<const uint8_t> bytes) {
+  RemoteMeetingApply result;
+  DecodedMeetingMessage decoded = DecodeMeetingMessage(bytes);
+  result.bytes_consumed = decoded.bytes_consumed;
+  result.salvaged = !decoded.error.ok();
+  if (decoded.fragment == nullptr) return result;  // Degenerates to a drop.
+  PeerView view;
+  view.owned_fragment = decoded.fragment;
+  view.fragment = view.owned_fragment.get();
+  view.scores = std::move(decoded.scores);
+  view.world = std::move(decoded.world);
+  view.owned_sketch = decoded.sketch;
+  view.page_sketch = view.owned_sketch.get();
+  view.wire_bytes = static_cast<double>(decoded.bytes_consumed);
+  result.cpu_millis = ProcessMeeting(view);
+  result.pr_iterations = last_pr_iterations_;
+  result.applied = true;
+  return result;
+}
+
 MeetingOutcome JxpPeer::Meet(JxpPeer& initiator, JxpPeer& partner) {
   return Meet(initiator, partner, p2p::MeetingFaultDecision());
 }

@@ -2,6 +2,7 @@
 #define JXP_CORE_JXP_PEER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include <memory>
@@ -79,6 +80,23 @@ struct IncrementalPrStats {
   size_t full_work_entries = 0;
 };
 
+/// Outcome of applying a remotely-received meeting message (the networked
+/// runtime path, where the two halves of a meeting run in different
+/// processes and only bytes cross between them).
+struct RemoteMeetingApply {
+  /// The message decoded (possibly only a salvaged prefix) and this peer's
+  /// state advanced. False when nothing usable arrived — the peer's state
+  /// is then bit-identical to before the call.
+  bool applied = false;
+  /// The decoder rejected part of the message and only the intact frame
+  /// prefix applied (torn or corrupted transfer).
+  bool salvaged = false;
+  /// Bytes of fully-decoded frames (wasted = received - consumed).
+  size_t bytes_consumed = 0;
+  double cpu_millis = 0;
+  int pr_iterations = 0;
+};
+
 /// A JXP peer: a local Web fragment, the world node summarizing everything
 /// else, and the current JXP score list (paper Section 3).
 ///
@@ -125,6 +143,19 @@ class JxpPeer {
   /// runs.
   static MeetingOutcome Meet(JxpPeer& initiator, JxpPeer& partner,
                              const p2p::MeetingFaultDecision& faults);
+
+  /// Serializes this peer's meeting message exactly as the in-process
+  /// kMeasured meeting path does (same codec, same sketch gating), so a
+  /// networked exchange of these bytes is bit-identical to MeetMeasured.
+  /// Snapshot semantics: callers exchanging messages must encode BOTH sides
+  /// before applying either (the meeting is a simultaneous exchange).
+  std::vector<uint8_t> EncodeMeetingBytes() const;
+
+  /// Applies a meeting message received as raw bytes: runs the
+  /// fault-tolerant decode salvage, then this peer's half of the meeting
+  /// (merge + local PageRank). Mirrors one side of MeetMeasured, so a
+  /// daemon pair doing Encode/exchange/Apply matches Meet() exactly.
+  RemoteMeetingApply ApplyMeetingBytes(std::span<const uint8_t> bytes);
 
   /// The peer's network id.
   p2p::PeerId id() const { return id_; }

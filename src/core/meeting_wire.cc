@@ -51,6 +51,7 @@ DecodedMeetingMessage DecodeMeetingMessage(std::span<const uint8_t> bytes) {
   wire::DecodedMeeting decoded = wire::DecodeMeeting(bytes);
   DecodedMeetingMessage result;
   result.bytes_consumed = decoded.bytes_consumed;
+  result.resync_offset = decoded.resync_offset;
   result.error = std::move(decoded.error);
 
   if (!decoded.pages.empty()) {

@@ -144,6 +144,9 @@ void JxpSimulation::RunMeetings(size_t count) {
       if (faults.abandoned) continue;
       ApplyStaleResume(faults, initiator, selection.partner);
     }
+    if (config_.record_meeting_log) {
+      meeting_log_.emplace_back(initiator, selection.partner);
+    }
     MeetingOutcome outcome =
         JxpPeer::Meet(peers_[initiator], peers_[selection.partner], faults);
     const double extra = selector_->AfterMeeting(initiator, selection.partner, network_) +
@@ -226,6 +229,9 @@ void JxpSimulation::RunMeetingsParallel(size_t count) {
     // run sequentially, in round order.
     for (size_t i = 0; i < round.size(); ++i) {
       if (round[i].faults.abandoned) continue;
+      if (config_.record_meeting_log) {
+        meeting_log_.emplace_back(round[i].initiator, round[i].selection.partner);
+      }
       const double extra =
           selector_->AfterMeeting(round[i].initiator, round[i].selection.partner,
                                   network_) +

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -82,6 +83,12 @@ struct SimulationConfig {
   /// is identical between RunMeetings and RunMeetingsParallel schedules at
   /// matching meeting counts, and across thread counts. 0 = off.
   size_t monitor_every = 0;
+  /// When true, every executed meeting's (initiator, partner) pair is
+  /// recorded in meeting_log(), in execution order. External drivers replay
+  /// the exact schedule elsewhere — the networked cluster driver feeds it
+  /// to its daemons and compares their converged scores against this
+  /// simulation as an oracle.
+  bool record_meeting_log = false;
 };
 
 /// One sample of the convergence monitor (see SimulationConfig::monitor_every).
@@ -131,6 +138,11 @@ class JxpSimulation {
   /// config.monitor_every == 0).
   const std::vector<ConvergencePoint>& convergence_series() const {
     return convergence_series_;
+  }
+
+  /// Executed meetings in order (empty unless config.record_meeting_log).
+  const std::vector<std::pair<p2p::PeerId, p2p::PeerId>>& meeting_log() const {
+    return meeting_log_;
   }
 
   /// The peers, indexed by PeerId.
@@ -218,6 +230,7 @@ class JxpSimulation {
   std::vector<metrics::ScoredItem> global_top_k_;
   size_t meetings_done_ = 0;
   double total_estimated_traffic_bytes_ = 0;
+  std::vector<std::pair<p2p::PeerId, p2p::PeerId>> meeting_log_;
   std::vector<ConvergencePoint> convergence_series_;
   size_t next_monitor_at_ = 0;  // Next meetings_done_ threshold to sample at.
 };

@@ -1,0 +1,235 @@
+#include "net/chaos_proxy.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "net/net_protocol.h"
+#include "wire/wire_format.h"
+
+namespace jxp {
+namespace net {
+
+namespace {
+
+/// Clears O_NONBLOCK (accepted sockets come back non-blocking; the relay
+/// pumps are blocking threads).
+void SetBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+}
+
+/// Reads exactly `n` bytes unless EOF/error cuts the stream short; returns
+/// the bytes actually read.
+size_t ReadUpTo(int fd, size_t n, std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(n);
+  uint8_t buf[16384];
+  while (out->size() < n) {
+    const size_t want = std::min(sizeof(buf), n - out->size());
+    const ssize_t got = ::read(fd, buf, want);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (got == 0) break;
+    out->insert(out->end(), buf, buf + got);
+  }
+  return out->size();
+}
+
+bool WriteAllRaw(int fd, std::span<const uint8_t> data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(ChaosProxyOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+Status ChaosProxy::Start() {
+  if (Status status =
+          CreateLoopbackListener(options_.listen_port, &listener_, &bound_port_);
+      !status.ok()) {
+    return status;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ChaosProxy::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Relay>> relays;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    relays.swap(relays_);
+  }
+  for (auto& relay : relays) {
+    ShutdownBoth(relay.get());
+    if (relay->forward.joinable()) relay->forward.join();
+    if (relay->backward.joinable()) relay->backward.join();
+  }
+  listener_.reset();
+}
+
+void ChaosProxy::ShutdownBoth(Relay* relay) {
+  if (relay->client.valid()) ::shutdown(relay->client.get(), SHUT_RDWR);
+  if (relay->server.valid()) ::shutdown(relay->server.get(), SHUT_RDWR);
+}
+
+void ChaosProxy::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listener_.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (stopping_.load()) return;
+    if (ready <= 0) continue;
+    UniqueFd client;
+    if (!AcceptConnection(listener_.get(), &client).ok() || !client) continue;
+    UniqueFd server;
+    if (!ConnectLoopback(options_.target_port, &server).ok()) {
+      continue;  // Target gone; refuse by dropping the client.
+    }
+    SetBlocking(client.get());
+    connections_.fetch_add(1);
+    auto relay = std::make_unique<Relay>();
+    relay->client = std::move(client);
+    relay->server = std::move(server);
+    Relay* raw = relay.get();
+    const int client_fd = raw->client.get();
+    const int server_fd = raw->server.get();
+    raw->forward = std::thread([this, raw, client_fd, server_fd] {
+      Pump(raw, client_fd, server_fd);
+    });
+    raw->backward = std::thread([this, raw, client_fd, server_fd] {
+      Pump(raw, server_fd, client_fd);
+    });
+    std::lock_guard<std::mutex> lock(mu_);
+    relays_.push_back(std::move(relay));
+  }
+}
+
+ChaosProxy::BlobFault ChaosProxy::DrawFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double u = rng_.NextDouble();
+  double edge = options_.plan.message_drop_probability;
+  if (u < edge) return BlobFault::kDrop;
+  edge += options_.plan.truncation_probability;
+  if (u < edge) return BlobFault::kTruncate;
+  edge += options_.plan.corruption_probability;
+  if (u < edge) return BlobFault::kCorrupt;
+  return BlobFault::kNone;
+}
+
+uint64_t ChaosProxy::DrawBitIndex(uint64_t num_bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.NextBounded(num_bits);
+}
+
+void ChaosProxy::Pump(Relay* relay, int src, int dst) {
+  std::vector<uint8_t> header(wire::kFrameHeaderBytes);
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t> blob;
+  while (!stopping_.load()) {
+    // One protocol frame: 16-byte header, then the announced payload.
+    // Forwarded verbatim — the proxy never re-serializes, so clean paths
+    // are byte-identical to a direct connection.
+    if (ReadUpTo(src, header.size(), &header) != wire::kFrameHeaderBytes) break;
+    if (header[0] != wire::kMagic0 || header[1] != wire::kMagic1) {
+      // Not a frame boundary; the stream is garbage. Pass the bytes on and
+      // stop relaying structurally (the receiver's assembler will reject).
+      (void)WriteAllRaw(dst, header);
+      break;
+    }
+    uint32_t payload_len = 0;
+    for (int i = 0; i < 4; ++i) {
+      payload_len |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+    }
+    if (payload_len > (1u << 26)) {
+      (void)WriteAllRaw(dst, header);
+      break;
+    }
+    const bool payload_complete = ReadUpTo(src, payload_len, &payload) == payload_len;
+    if (!WriteAllRaw(dst, header) || !WriteAllRaw(dst, payload)) break;
+    if (!payload_complete) break;
+    frames_forwarded_.fetch_add(1);
+
+    const uint8_t type = header[3];
+    const bool is_blob_header =
+        type == static_cast<uint8_t>(NetMessageType::kMeetingOffer) ||
+        type == static_cast<uint8_t>(NetMessageType::kMeetingReply);
+    if (!is_blob_header) continue;
+    MeetingHeader announce;
+    if (!ParseMeetingHeader(payload, &announce).ok()) continue;
+
+    // The next announce.payload_bytes raw bytes are the fault target.
+    const size_t got = ReadUpTo(src, announce.payload_bytes, &blob);
+    if (got < announce.payload_bytes) {
+      // Upstream died mid-blob on its own; pass through what arrived.
+      (void)WriteAllRaw(dst, blob);
+      break;
+    }
+    switch (blob.empty() ? BlobFault::kNone : DrawFault()) {
+      case BlobFault::kDrop:
+        blobs_dropped_.fetch_add(1);
+        ShutdownBoth(relay);
+        return;
+      case BlobFault::kTruncate: {
+        blobs_truncated_.fetch_add(1);
+        // Keep a strict prefix so the receiver always sees EOF mid-blob.
+        const double keep = std::clamp(options_.plan.truncation_keep_fraction, 0.0, 1.0);
+        const size_t kept = std::min(
+            blob.size() - 1, static_cast<size_t>(std::floor(keep * blob.size())));
+        (void)WriteAllRaw(dst, std::span<const uint8_t>(blob.data(), kept));
+        ShutdownBoth(relay);
+        return;
+      }
+      case BlobFault::kCorrupt: {
+        blobs_corrupted_.fetch_add(1);
+        const uint64_t bit = DrawBitIndex(static_cast<uint64_t>(blob.size()) * 8);
+        blob[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        if (!WriteAllRaw(dst, blob)) return;
+        break;
+      }
+      case BlobFault::kNone:
+        if (!WriteAllRaw(dst, blob)) return;
+        if (!blob.empty()) blobs_forwarded_.fetch_add(1);
+        break;
+    }
+  }
+}
+
+ChaosProxyStats ChaosProxy::stats() const {
+  ChaosProxyStats stats;
+  stats.connections = connections_.load();
+  stats.frames_forwarded = frames_forwarded_.load();
+  stats.blobs_forwarded = blobs_forwarded_.load();
+  stats.blobs_dropped = blobs_dropped_.load();
+  stats.blobs_truncated = blobs_truncated_.load();
+  stats.blobs_corrupted = blobs_corrupted_.load();
+  return stats;
+}
+
+}  // namespace net
+}  // namespace jxp

@@ -1,0 +1,102 @@
+#include "net/control_client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <string>
+
+namespace jxp {
+namespace net {
+
+Status ControlClient::Connect(uint16_t port, uint64_t io_timeout_ms) {
+  fd_.reset();
+  if (Status status = ConnectLoopback(port, &fd_); !status.ok()) return status;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(io_timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((io_timeout_ms % 1000) * 1000);
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  return Status::OK();
+}
+
+Status ControlClient::RoundTrip(const std::vector<uint8_t>& request,
+                                NetMessageType expect,
+                                std::vector<uint8_t>* payload) {
+  if (!fd_.valid()) return Status::FailedPrecondition("control client not connected");
+  if (Status status = WriteAll(fd_.get(), request); !status.ok()) return status;
+  uint8_t type = 0;
+  if (Status status = ReadFrameBlocking(fd_.get(), &type, payload); !status.ok()) {
+    return status;
+  }
+  if (type != static_cast<uint8_t>(expect)) {
+    return Status::Internal("unexpected control reply type " + std::to_string(type));
+  }
+  return Status::OK();
+}
+
+Status ControlClient::GetStatus(StatusReplyMessage* out) {
+  std::vector<uint8_t> request;
+  AppendEmpty(NetMessageType::kStatusRequest, request);
+  std::vector<uint8_t> payload;
+  if (Status status = RoundTrip(request, NetMessageType::kStatusReply, &payload);
+      !status.ok()) {
+    return status;
+  }
+  return ParseStatusReply(payload, out);
+}
+
+Status ControlClient::Checkpoint() {
+  std::vector<uint8_t> request;
+  AppendEmpty(NetMessageType::kCheckpointRequest, request);
+  std::vector<uint8_t> payload;
+  if (Status status = RoundTrip(request, NetMessageType::kCheckpointReply, &payload);
+      !status.ok()) {
+    return status;
+  }
+  AckMessage ack;
+  if (Status status = ParseAck(payload, &ack); !status.ok()) return status;
+  if (!ack.ok) return Status::Internal("checkpoint failed: " + ack.detail);
+  return Status::OK();
+}
+
+Status ControlClient::Quiesce() {
+  std::vector<uint8_t> request;
+  AppendEmpty(NetMessageType::kQuiesceRequest, request);
+  std::vector<uint8_t> payload;
+  if (Status status = RoundTrip(request, NetMessageType::kQuiesceReply, &payload);
+      !status.ok()) {
+    return status;
+  }
+  AckMessage ack;
+  if (Status status = ParseAck(payload, &ack); !status.ok()) return status;
+  if (!ack.ok) return Status::Internal("quiesce failed: " + ack.detail);
+  return Status::OK();
+}
+
+Status ControlClient::Meet(uint32_t partner_id, uint16_t port, MeetResultMessage* out) {
+  MeetCommandMessage command;
+  command.partner_id = partner_id;
+  command.port = port;
+  std::vector<uint8_t> request;
+  AppendMeetCommand(command, request);
+  std::vector<uint8_t> payload;
+  if (Status status = RoundTrip(request, NetMessageType::kMeetResult, &payload);
+      !status.ok()) {
+    return status;
+  }
+  return ParseMeetResult(payload, out);
+}
+
+Status ControlClient::GetScores(ScoresReplyMessage* out) {
+  std::vector<uint8_t> request;
+  AppendEmpty(NetMessageType::kScoresRequest, request);
+  std::vector<uint8_t> payload;
+  if (Status status = RoundTrip(request, NetMessageType::kScoresReply, &payload);
+      !status.ok()) {
+    return status;
+  }
+  return ParseScoresReply(payload, out);
+}
+
+}  // namespace net
+}  // namespace jxp

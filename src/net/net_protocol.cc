@@ -1,0 +1,299 @@
+#include "net/net_protocol.h"
+
+#include <cstring>
+
+#include "net/socket_util.h"
+
+namespace jxp {
+namespace net {
+
+namespace {
+
+using wire::ByteReader;
+using wire::ByteWriter;
+
+void Seal(NetMessageType type, std::vector<uint8_t>& payload,
+          std::vector<uint8_t>& out) {
+  wire::AppendFrameRaw(static_cast<uint8_t>(type), payload, out);
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed ") + what);
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void AppendHello(const HelloMessage& msg, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutVarint32(msg.peer_id);
+  writer.PutVarint32(msg.listen_port);
+  Seal(NetMessageType::kHello, payload, out);
+}
+
+void AppendPeerExchange(const PeerExchangeMessage& msg, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutVarint32(static_cast<uint32_t>(msg.entries.size()));
+  for (const GossipEntry& entry : msg.entries) {
+    writer.PutVarint32(entry.peer_id);
+    writer.PutVarint32(entry.port);
+    writer.PutVarint32(entry.age_ms);
+    writer.PutU8(entry.departed ? 1 : 0);
+  }
+  Seal(NetMessageType::kPeerExchange, payload, out);
+}
+
+void AppendMeetingHeader(NetMessageType type, const MeetingHeader& msg,
+                         std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutVarint32(msg.sender_id);
+  writer.PutU32(msg.payload_bytes);
+  Seal(type, payload, out);
+}
+
+void AppendMeetingDecline(uint32_t sender_id, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutVarint32(sender_id);
+  Seal(NetMessageType::kMeetingDecline, payload, out);
+}
+
+void AppendGoodbye(uint32_t sender_id, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutVarint32(sender_id);
+  Seal(NetMessageType::kGoodbye, payload, out);
+}
+
+void AppendEmpty(NetMessageType type, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  Seal(type, payload, out);
+}
+
+void AppendMeetCommand(const MeetCommandMessage& msg, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutVarint32(msg.partner_id);
+  writer.PutVarint32(msg.port);
+  Seal(NetMessageType::kMeetCommand, payload, out);
+}
+
+void AppendMeetResult(const MeetResultMessage& msg, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutU8(static_cast<uint8_t>((msg.applied ? 1 : 0) | (msg.salvaged ? 2 : 0) |
+                                    (msg.declined ? 4 : 0)));
+  writer.PutVarint64(msg.bytes_sent);
+  writer.PutVarint64(msg.bytes_received);
+  writer.PutVarint64(msg.bytes_wasted);
+  Seal(NetMessageType::kMeetResult, payload, out);
+}
+
+void AppendStatusReply(const StatusReplyMessage& msg, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutVarint32(msg.peer_id);
+  writer.PutVarint64(msg.num_meetings);
+  writer.PutVarint64(msg.meetings_accepted);
+  writer.PutVarint32(msg.local_pages);
+  writer.PutVarint32(msg.world_entries);
+  writer.PutVarint32(msg.directory_size);
+  writer.PutU8(msg.quiesced ? 1 : 0);
+  Seal(NetMessageType::kStatusReply, payload, out);
+}
+
+void AppendScoresReply(const ScoresReplyMessage& msg, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutVarint32(static_cast<uint32_t>(msg.entries.size()));
+  for (const ScoreEntry& entry : msg.entries) {
+    writer.PutVarint32(entry.page);
+    writer.PutU64(DoubleBits(entry.score));
+  }
+  writer.PutU64(DoubleBits(msg.world_score));
+  Seal(NetMessageType::kScoresReply, payload, out);
+}
+
+void AppendAck(NetMessageType type, const AckMessage& msg, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutU8(msg.ok ? 1 : 0);
+  writer.PutVarint32(static_cast<uint32_t>(msg.detail.size()));
+  for (const char c : msg.detail) payload.push_back(static_cast<uint8_t>(c));
+  Seal(type, payload, out);
+}
+
+Status ParseHello(std::span<const uint8_t> payload, HelloMessage* out) {
+  ByteReader reader(payload);
+  uint32_t port = 0;
+  if (!reader.GetVarint32(&out->peer_id) || !reader.GetVarint32(&port) ||
+      port > 0xffff || !reader.AtEnd()) {
+    return Malformed("hello");
+  }
+  out->listen_port = static_cast<uint16_t>(port);
+  return Status::OK();
+}
+
+Status ParsePeerExchange(std::span<const uint8_t> payload, PeerExchangeMessage* out) {
+  ByteReader reader(payload);
+  uint32_t count = 0;
+  if (!reader.GetVarint32(&count)) return Malformed("peer exchange");
+  // Each entry is >= 4 bytes; reject counts the payload cannot hold.
+  if (count > payload.size() / 4) return Malformed("peer exchange count");
+  out->entries.clear();
+  out->entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GossipEntry entry;
+    uint32_t port = 0;
+    uint8_t departed = 0;
+    if (!reader.GetVarint32(&entry.peer_id) || !reader.GetVarint32(&port) ||
+        port > 0xffff || !reader.GetVarint32(&entry.age_ms) ||
+        !reader.GetU8(&departed)) {
+      return Malformed("peer exchange entry");
+    }
+    entry.port = static_cast<uint16_t>(port);
+    entry.departed = departed != 0;
+    out->entries.push_back(entry);
+  }
+  if (!reader.AtEnd()) return Malformed("peer exchange trailer");
+  return Status::OK();
+}
+
+Status ParseMeetingHeader(std::span<const uint8_t> payload, MeetingHeader* out) {
+  ByteReader reader(payload);
+  if (!reader.GetVarint32(&out->sender_id) || !reader.GetU32(&out->payload_bytes) ||
+      !reader.AtEnd()) {
+    return Malformed("meeting header");
+  }
+  return Status::OK();
+}
+
+Status ParseSenderId(std::span<const uint8_t> payload, uint32_t* out) {
+  ByteReader reader(payload);
+  if (!reader.GetVarint32(out) || !reader.AtEnd()) return Malformed("sender id");
+  return Status::OK();
+}
+
+Status ParseMeetCommand(std::span<const uint8_t> payload, MeetCommandMessage* out) {
+  ByteReader reader(payload);
+  uint32_t port = 0;
+  if (!reader.GetVarint32(&out->partner_id) || !reader.GetVarint32(&port) ||
+      port > 0xffff || !reader.AtEnd()) {
+    return Malformed("meet command");
+  }
+  out->port = static_cast<uint16_t>(port);
+  return Status::OK();
+}
+
+Status ParseMeetResult(std::span<const uint8_t> payload, MeetResultMessage* out) {
+  ByteReader reader(payload);
+  uint8_t flags = 0;
+  if (!reader.GetU8(&flags) || !reader.GetVarint64(&out->bytes_sent) ||
+      !reader.GetVarint64(&out->bytes_received) ||
+      !reader.GetVarint64(&out->bytes_wasted) || !reader.AtEnd()) {
+    return Malformed("meet result");
+  }
+  out->applied = (flags & 1) != 0;
+  out->salvaged = (flags & 2) != 0;
+  out->declined = (flags & 4) != 0;
+  return Status::OK();
+}
+
+Status ParseStatusReply(std::span<const uint8_t> payload, StatusReplyMessage* out) {
+  ByteReader reader(payload);
+  uint8_t quiesced = 0;
+  if (!reader.GetVarint32(&out->peer_id) || !reader.GetVarint64(&out->num_meetings) ||
+      !reader.GetVarint64(&out->meetings_accepted) ||
+      !reader.GetVarint32(&out->local_pages) ||
+      !reader.GetVarint32(&out->world_entries) ||
+      !reader.GetVarint32(&out->directory_size) || !reader.GetU8(&quiesced) ||
+      !reader.AtEnd()) {
+    return Malformed("status reply");
+  }
+  out->quiesced = quiesced != 0;
+  return Status::OK();
+}
+
+Status ParseScoresReply(std::span<const uint8_t> payload, ScoresReplyMessage* out) {
+  ByteReader reader(payload);
+  uint32_t count = 0;
+  if (!reader.GetVarint32(&count)) return Malformed("scores reply");
+  if (count > payload.size() / 9) return Malformed("scores reply count");
+  out->entries.clear();
+  out->entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ScoreEntry entry;
+    uint64_t bits = 0;
+    if (!reader.GetVarint32(&entry.page) || !reader.GetU64(&bits)) {
+      return Malformed("scores reply entry");
+    }
+    entry.score = BitsDouble(bits);
+    out->entries.push_back(entry);
+  }
+  uint64_t world_bits = 0;
+  if (!reader.GetU64(&world_bits) || !reader.AtEnd()) {
+    return Malformed("scores reply trailer");
+  }
+  out->world_score = BitsDouble(world_bits);
+  return Status::OK();
+}
+
+Status ParseAck(std::span<const uint8_t> payload, AckMessage* out) {
+  ByteReader reader(payload);
+  uint8_t ok = 0;
+  uint32_t len = 0;
+  if (!reader.GetU8(&ok) || !reader.GetVarint32(&len) || reader.remaining() != len) {
+    return Malformed("ack");
+  }
+  out->ok = ok != 0;
+  out->detail.assign(reinterpret_cast<const char*>(payload.data()) + reader.position(),
+                     len);
+  return Status::OK();
+}
+
+Status ReadFrameBlocking(int fd, uint8_t* type, std::vector<uint8_t>* payload,
+                         size_t max_payload_bytes) {
+  uint8_t header[wire::kFrameHeaderBytes];
+  if (Status status = ReadExact(fd, header, sizeof(header)); !status.ok()) {
+    return status;
+  }
+  if (header[0] != wire::kMagic0 || header[1] != wire::kMagic1) {
+    return Status::Corruption("bad frame magic");
+  }
+  if (header[2] != wire::kVersion) return Status::Corruption("bad frame version");
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) length |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+  if (length > max_payload_bytes) return Status::OutOfRange("frame too large");
+  uint64_t checksum = 0;
+  for (int i = 0; i < 8; ++i) {
+    checksum |= static_cast<uint64_t>(header[wire::kChecksumOffset + i]) << (8 * i);
+  }
+  payload->assign(length, 0);
+  if (length > 0) {
+    if (Status status = ReadExact(fd, payload->data(), length); !status.ok()) {
+      return status;
+    }
+  }
+  if (wire::ComputeFrameChecksum(header, *payload) != checksum) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  *type = header[3];
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace jxp

@@ -1,0 +1,166 @@
+#ifndef JXP_NET_NET_PROTOCOL_H_
+#define JXP_NET_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wire/wire_format.h"
+
+namespace jxp {
+namespace net {
+
+/// The networked runtime's message vocabulary (DESIGN.md §6k). Every
+/// message is one frame with the frozen 16-byte wire header
+/// (wire/wire_format.h) and a type byte from the ranges below — disjoint
+/// from the meeting payload types 1..3, so a net frame can never be
+/// mistaken for meeting content and vice versa.
+///
+/// Peer-to-peer types (0x10..0x1f) flow between daemons; control types
+/// (0x20..0x2f) flow between the cluster driver and a daemon. A meeting
+/// transfer itself is NOT framed per chunk on the socket: a kMeetingOffer /
+/// kMeetingReply frame announces `payload_bytes`, then exactly that many
+/// raw bytes of encoded meeting message follow. The receiver buffers the
+/// blob and runs the fault-tolerant DecodeMeeting salvage over it, so a
+/// torn or bit-flipped transfer degrades exactly like the simulation's
+/// fault model instead of wedging the framing layer.
+enum class NetMessageType : uint8_t {
+  // Peer <-> peer.
+  kHello = 0x10,          // First frame on any daemon connection.
+  kPeerExchange = 0x11,   // Gossip: a sample of the sender's directory.
+  kMeetingOffer = 0x12,   // Initiator -> responder; blob of payload_bytes follows.
+  kMeetingReply = 0x13,   // Responder -> initiator; blob of payload_bytes follows.
+  kMeetingDecline = 0x14, // Responder is quiesced/busy; no blob.
+  kGoodbye = 0x15,        // Sender is departing; directory tombstone.
+
+  // Driver <-> daemon control.
+  kStatusRequest = 0x20,
+  kStatusReply = 0x21,
+  kCheckpointRequest = 0x22,  // Save peer state to the daemon's state path.
+  kCheckpointReply = 0x23,
+  kQuiesceRequest = 0x24,     // Stop initiating/accepting meetings.
+  kQuiesceReply = 0x25,
+  kMeetCommand = 0x26,        // Initiate one meeting with the given peer now.
+  kMeetResult = 0x27,
+  kScoresRequest = 0x28,      // Dump local scores (exact doubles).
+  kScoresReply = 0x29,
+};
+
+/// First frame each side sends on a daemon<->daemon connection.
+struct HelloMessage {
+  uint32_t peer_id = 0;
+  /// Port the sender's daemon accepts connections on (advertised port —
+  /// under the chaos proxy this is the proxy's port).
+  uint16_t listen_port = 0;
+};
+
+/// One gossiped directory record. Times travel as *ages* relative to the
+/// sender's send instant — the two processes share no clock.
+struct GossipEntry {
+  uint32_t peer_id = 0;
+  uint16_t port = 0;
+  /// How long ago the sender last heard from this peer.
+  uint32_t age_ms = 0;
+  /// Tombstone: the peer said Goodbye (or was reported departed).
+  bool departed = false;
+};
+
+struct PeerExchangeMessage {
+  std::vector<GossipEntry> entries;
+};
+
+/// Announces a meeting blob: `payload_bytes` raw bytes of encoded meeting
+/// message follow this frame on the stream. Shared by offer and reply.
+struct MeetingHeader {
+  uint32_t sender_id = 0;
+  uint32_t payload_bytes = 0;
+};
+
+/// Driver command: meet the given peer (dialed at `port`) once, now.
+struct MeetCommandMessage {
+  uint32_t partner_id = 0;
+  uint16_t port = 0;
+};
+
+/// Outcome of one commanded (or scheduled) meeting, from the initiator's
+/// point of view.
+struct MeetResultMessage {
+  /// The partner's message was decoded and applied (possibly salvaged).
+  bool applied = false;
+  /// The reply blob was truncated or corrupted and only a prefix applied.
+  bool salvaged = false;
+  /// The partner declined (quiesced).
+  bool declined = false;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  /// Bytes received that decoding rejected (wasted traffic).
+  uint64_t bytes_wasted = 0;
+};
+
+struct StatusReplyMessage {
+  uint32_t peer_id = 0;
+  uint64_t num_meetings = 0;
+  uint64_t meetings_accepted = 0;
+  uint32_t local_pages = 0;
+  uint32_t world_entries = 0;
+  uint32_t directory_size = 0;
+  bool quiesced = false;
+};
+
+/// One local page's exact score. Doubles cross as raw IEEE-754 bits so the
+/// driver's oracle comparison is exact, not quantized.
+struct ScoreEntry {
+  uint32_t page = 0;
+  double score = 0;
+};
+
+struct ScoresReplyMessage {
+  std::vector<ScoreEntry> entries;
+  /// The peer's current world-node total (world score diagnostics).
+  double world_score = 0;
+};
+
+/// Generic ack payload for checkpoint/quiesce replies.
+struct AckMessage {
+  bool ok = false;
+  std::string detail;
+};
+
+/// Encoders append one complete frame (header + payload) to `out`.
+void AppendHello(const HelloMessage& msg, std::vector<uint8_t>& out);
+void AppendPeerExchange(const PeerExchangeMessage& msg, std::vector<uint8_t>& out);
+void AppendMeetingHeader(NetMessageType type, const MeetingHeader& msg,
+                         std::vector<uint8_t>& out);
+void AppendMeetingDecline(uint32_t sender_id, std::vector<uint8_t>& out);
+void AppendGoodbye(uint32_t sender_id, std::vector<uint8_t>& out);
+void AppendEmpty(NetMessageType type, std::vector<uint8_t>& out);
+void AppendMeetCommand(const MeetCommandMessage& msg, std::vector<uint8_t>& out);
+void AppendMeetResult(const MeetResultMessage& msg, std::vector<uint8_t>& out);
+void AppendStatusReply(const StatusReplyMessage& msg, std::vector<uint8_t>& out);
+void AppendScoresReply(const ScoresReplyMessage& msg, std::vector<uint8_t>& out);
+void AppendAck(NetMessageType type, const AckMessage& msg, std::vector<uint8_t>& out);
+
+/// Decoders parse a frame *payload* (the frame layer already verified the
+/// checksum). InvalidArgument on malformed payloads.
+Status ParseHello(std::span<const uint8_t> payload, HelloMessage* out);
+Status ParsePeerExchange(std::span<const uint8_t> payload, PeerExchangeMessage* out);
+Status ParseMeetingHeader(std::span<const uint8_t> payload, MeetingHeader* out);
+Status ParseSenderId(std::span<const uint8_t> payload, uint32_t* out);
+Status ParseMeetCommand(std::span<const uint8_t> payload, MeetCommandMessage* out);
+Status ParseMeetResult(std::span<const uint8_t> payload, MeetResultMessage* out);
+Status ParseStatusReply(std::span<const uint8_t> payload, StatusReplyMessage* out);
+Status ParseScoresReply(std::span<const uint8_t> payload, ScoresReplyMessage* out);
+Status ParseAck(std::span<const uint8_t> payload, AckMessage* out);
+
+/// Blocking request/response helpers for control clients (driver side).
+/// ReadFrameBlocking reads one full frame off a blocking socket, verifies
+/// magic/version/checksum, and returns its type byte + payload.
+Status ReadFrameBlocking(int fd, uint8_t* type, std::vector<uint8_t>* payload,
+                         size_t max_payload_bytes = 1u << 26);
+
+}  // namespace net
+}  // namespace jxp
+
+#endif  // JXP_NET_NET_PROTOCOL_H_

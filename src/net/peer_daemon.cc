@@ -1,0 +1,651 @@
+#include "net/peer_daemon.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "core/state_io.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace jxp {
+namespace net {
+
+namespace {
+
+/// Process-wide jxp.net.* instrumentation (see docs/METRICS.md). Counters
+/// mirror DaemonStats; the gauge tracks the directory size.
+struct NetMetrics {
+  obs::Counter accepts;
+  obs::Counter dials;
+  obs::Counter dial_failures;
+  obs::Counter meetings_initiated;
+  obs::Counter meetings_accepted;
+  obs::Counter meetings_declined;
+  obs::Counter meeting_failures;
+  obs::Counter truncations_detected;
+  obs::Counter corruptions_detected;
+  obs::Counter bytes_sent;
+  obs::Counter bytes_received;
+  obs::Counter wasted_bytes;
+  obs::Counter gossip_exchanges;
+  obs::Counter directory_evictions;
+  obs::Counter checkpoints;
+  obs::Counter protocol_errors;
+  obs::Gauge directory_peers;
+};
+
+NetMetrics& GetNetMetrics() {
+  static NetMetrics* metrics = [] {
+    auto* m = new NetMetrics();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    m->accepts = reg.GetCounter("jxp.net.accepts");
+    m->dials = reg.GetCounter("jxp.net.dials");
+    m->dial_failures = reg.GetCounter("jxp.net.dial_failures");
+    m->meetings_initiated = reg.GetCounter("jxp.net.meetings_initiated");
+    m->meetings_accepted = reg.GetCounter("jxp.net.meetings_accepted");
+    m->meetings_declined = reg.GetCounter("jxp.net.meetings_declined");
+    m->meeting_failures = reg.GetCounter("jxp.net.meeting_failures");
+    m->truncations_detected = reg.GetCounter("jxp.net.truncations_detected");
+    m->corruptions_detected = reg.GetCounter("jxp.net.corruptions_detected");
+    m->bytes_sent = reg.GetCounter("jxp.net.bytes_sent");
+    m->bytes_received = reg.GetCounter("jxp.net.bytes_received");
+    m->wasted_bytes = reg.GetCounter("jxp.net.wasted_bytes");
+    m->gossip_exchanges = reg.GetCounter("jxp.net.gossip_exchanges");
+    m->directory_evictions = reg.GetCounter("jxp.net.directory_evictions");
+    m->checkpoints = reg.GetCounter("jxp.net.checkpoints");
+    m->protocol_errors = reg.GetCounter("jxp.net.protocol_errors");
+    m->directory_peers = reg.GetGauge("jxp.net.directory_peers");
+    return m;
+  }();
+  return *metrics;
+}
+
+/// Sets SO_RCVTIMEO/SO_SNDTIMEO on a blocking socket.
+void SetIoTimeouts(int fd, uint64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Reads up to `n` bytes from a blocking socket, stopping early at EOF (the
+/// torn-transfer case). Returns bytes read; a read error counts as EOF at
+/// the bytes received so far.
+size_t ReadUpTo(int fd, size_t n, std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(n);
+  uint8_t buf[16384];
+  while (out->size() < n) {
+    const size_t want = std::min(sizeof(buf), n - out->size());
+    const ssize_t got = ::read(fd, buf, want);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (got == 0) break;
+    out->insert(out->end(), buf, buf + got);
+  }
+  return out->size();
+}
+
+}  // namespace
+
+PeerDaemon::PeerDaemon(std::unique_ptr<core::JxpPeer> peer, PeerDaemonOptions options)
+    : peer_(std::move(peer)),
+      options_(std::move(options)),
+      directory_(static_cast<uint32_t>(peer_->id()), options_.directory_staleness_ms),
+      rng_(options_.rng_seed) {}
+
+PeerDaemon::~PeerDaemon() {
+  if (loop_ == nullptr) return;
+  if (listener_ && loop_->IsRegistered(listener_.get())) {
+    (void)loop_->Remove(listener_.get());
+  }
+  for (auto& [fd, conn] : connections_) {
+    if (loop_->IsRegistered(fd)) (void)loop_->Remove(fd);
+  }
+  if (options_.shutdown_fd >= 0 && loop_->IsRegistered(options_.shutdown_fd)) {
+    (void)loop_->Remove(options_.shutdown_fd);
+  }
+}
+
+Status PeerDaemon::Start(EventLoop* loop) {
+  loop_ = loop;
+  if (Status status =
+          CreateLoopbackListener(options_.listen_port, &listener_, &bound_port_);
+      !status.ok()) {
+    return status;
+  }
+  const uint64_t now = loop_->NowMs();
+  for (const GossipEntry& seed : options_.seed_peers) {
+    directory_.ObserveDirect(seed.peer_id, seed.port, now);
+  }
+  UpdateDirectoryGauge();
+  if (Status status =
+          loop_->Add(listener_.get(), EPOLLIN, [this](uint32_t) { OnListenerReadable(); });
+      !status.ok()) {
+    return status;
+  }
+  if (options_.shutdown_fd >= 0) {
+    if (Status status = loop_->Add(options_.shutdown_fd, EPOLLIN,
+                                   [this](uint32_t) { OnShutdownFdReadable(); });
+        !status.ok()) {
+      return status;
+    }
+  }
+  ArmMeetTimer();
+  ArmGossipTimer();
+  return Status::OK();
+}
+
+void PeerDaemon::ArmMeetTimer() {
+  if (options_.meet_interval_ms == 0) return;
+  loop_->AddTimer(options_.meet_interval_ms, [this] {
+    if (!quiesced_) {
+      PeerDirectory::Entry partner;
+      if (directory_.SelectPartner(rng_, &partner)) {
+        MeetPeer(partner.peer_id, partner.port);
+      }
+    }
+    ArmMeetTimer();
+  });
+}
+
+void PeerDaemon::ArmGossipTimer() {
+  if (options_.gossip_interval_ms == 0) return;
+  loop_->AddTimer(options_.gossip_interval_ms, [this] {
+    const size_t evicted = directory_.EvictStale(loop_->NowMs());
+    if (evicted > 0) {
+      stats_.directory_evictions += evicted;
+      if (obs::Enabled()) {
+        GetNetMetrics().directory_evictions.Increment(evicted);
+      }
+    }
+    if (!quiesced_) GossipOnce();
+    UpdateDirectoryGauge();
+    ArmGossipTimer();
+  });
+}
+
+void PeerDaemon::UpdateDirectoryGauge() {
+  if (obs::Enabled()) {
+    GetNetMetrics().directory_peers.Set(static_cast<double>(directory_.size()));
+  }
+}
+
+void PeerDaemon::OnListenerReadable() {
+  // Level-triggered: drain every pending connection.
+  while (true) {
+    UniqueFd accepted;
+    const Status status = AcceptConnection(listener_.get(), &accepted);
+    if (!status.ok() || !accepted) return;
+    ++stats_.accepts;
+    if (obs::Enabled()) GetNetMetrics().accepts.Increment();
+    const int fd = accepted.get();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = std::move(accepted);
+    if (!loop_->Add(fd, EPOLLIN, [this, fd](uint32_t) { OnConnectionReadable(fd); })
+             .ok()) {
+      continue;  // Connection dropped; UniqueFd closes it.
+    }
+    connections_.emplace(fd, std::move(conn));
+  }
+}
+
+void PeerDaemon::CloseConnection(int fd) {
+  if (loop_->IsRegistered(fd)) (void)loop_->Remove(fd);
+  connections_.erase(fd);
+}
+
+void PeerDaemon::OnConnectionReadable(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+
+  uint8_t buf[16384];
+  while (true) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConnection(fd);
+      return;
+    }
+    if (got == 0) {
+      // EOF. A partial meeting blob at EOF is the torn-transfer case: the
+      // connection (or the chaos proxy) died mid-blob; salvage the prefix.
+      if (conn.blob_expected > 0) OnMeetingBlobTruncated(conn);
+      CloseConnection(fd);
+      return;
+    }
+    stats_.bytes_received += static_cast<uint64_t>(got);
+    if (obs::Enabled()) {
+      GetNetMetrics().bytes_received.Increment(static_cast<uint64_t>(got));
+    }
+    size_t off = 0;
+    const size_t n = static_cast<size_t>(got);
+    while (off < n) {
+      if (conn.blob_expected > 0) {
+        // Raw blob mode: bytes bypass the frame assembler entirely.
+        const size_t take = std::min(n - off, conn.blob_expected - conn.blob.size());
+        conn.blob.insert(conn.blob.end(), buf + off, buf + off + take);
+        off += take;
+        if (conn.blob.size() == conn.blob_expected) OnMeetingBlobComplete(conn);
+        continue;
+      }
+      const size_t consumed =
+          conn.assembler.Feed(std::span<const uint8_t>(buf + off, n - off));
+      off += consumed;
+      if (conn.assembler.HasFrame()) {
+        const bool keep = HandleFrame(conn, conn.assembler.frame_type(),
+                                      conn.assembler.frame_payload());
+        conn.assembler.ConsumeFrame();
+        if (!keep) {
+          CloseConnection(fd);
+          return;
+        }
+      } else if (conn.assembler.failed() || consumed == 0) {
+        ++stats_.protocol_errors;
+        if (obs::Enabled()) GetNetMetrics().protocol_errors.Increment();
+        CloseConnection(fd);
+        return;
+      }
+    }
+  }
+}
+
+bool PeerDaemon::HandleFrame(Connection& conn, uint8_t type,
+                             std::span<const uint8_t> payload) {
+  const uint64_t now = loop_->NowMs();
+  switch (static_cast<NetMessageType>(type)) {
+    case NetMessageType::kHello: {
+      HelloMessage hello;
+      if (!ParseHello(payload, &hello).ok()) break;
+      directory_.ObserveDirect(hello.peer_id, hello.listen_port, now);
+      UpdateDirectoryGauge();
+      return true;
+    }
+    case NetMessageType::kPeerExchange: {
+      PeerExchangeMessage exchange;
+      if (!ParsePeerExchange(payload, &exchange).ok()) break;
+      for (const GossipEntry& entry : exchange.entries) {
+        directory_.ObserveGossip(entry, now);
+      }
+      ++stats_.gossip_exchanges;
+      if (obs::Enabled()) GetNetMetrics().gossip_exchanges.Increment();
+      UpdateDirectoryGauge();
+      // Push-pull: answer with our own sample (tombstones included).
+      PeerExchangeMessage reply;
+      reply.entries = directory_.GossipSample(now, 16, rng_);
+      std::vector<uint8_t> out;
+      AppendPeerExchange(reply, out);
+      return SendBytes(conn.fd.get(), out).ok();
+    }
+    case NetMessageType::kMeetingOffer: {
+      MeetingHeader offer;
+      if (!ParseMeetingHeader(payload, &offer).ok()) break;
+      conn.meeting_sender = offer.sender_id;
+      conn.decline_meeting = quiesced_;
+      conn.blob.clear();
+      conn.blob_expected = offer.payload_bytes;
+      if (conn.blob_expected == 0) OnMeetingBlobComplete(conn);
+      return true;
+    }
+    case NetMessageType::kGoodbye: {
+      uint32_t sender = 0;
+      if (!ParseSenderId(payload, &sender).ok()) break;
+      directory_.MarkDeparted(sender, now);
+      UpdateDirectoryGauge();
+      return true;
+    }
+    case NetMessageType::kStatusRequest: {
+      std::vector<uint8_t> out;
+      AppendStatusReply(BuildStatus(), out);
+      return SendBytes(conn.fd.get(), out).ok();
+    }
+    case NetMessageType::kScoresRequest: {
+      std::vector<uint8_t> out;
+      AppendScoresReply(BuildScores(), out);
+      return SendBytes(conn.fd.get(), out).ok();
+    }
+    case NetMessageType::kCheckpointRequest: {
+      const Status status = Checkpoint();
+      AckMessage ack;
+      ack.ok = status.ok();
+      if (!status.ok()) ack.detail = status.ToString();
+      std::vector<uint8_t> out;
+      AppendAck(NetMessageType::kCheckpointReply, ack, out);
+      return SendBytes(conn.fd.get(), out).ok();
+    }
+    case NetMessageType::kQuiesceRequest: {
+      quiesced_ = true;
+      AckMessage ack;
+      ack.ok = true;
+      std::vector<uint8_t> out;
+      AppendAck(NetMessageType::kQuiesceReply, ack, out);
+      return SendBytes(conn.fd.get(), out).ok();
+    }
+    case NetMessageType::kMeetCommand: {
+      MeetCommandMessage command;
+      if (!ParseMeetCommand(payload, &command).ok()) break;
+      const MeetResultMessage result = MeetPeer(command.partner_id, command.port);
+      std::vector<uint8_t> out;
+      AppendMeetResult(result, out);
+      return SendBytes(conn.fd.get(), out).ok();
+    }
+    default:
+      break;
+  }
+  ++stats_.protocol_errors;
+  if (obs::Enabled()) GetNetMetrics().protocol_errors.Increment();
+  return false;
+}
+
+void PeerDaemon::ApplyBlob(Connection& conn) {
+  const bool complete = conn.blob.size() == conn.blob_expected;
+  const core::RemoteMeetingApply applied = peer_->ApplyMeetingBytes(conn.blob);
+  if (applied.applied) {
+    ++stats_.meetings_accepted;
+    if (obs::Enabled()) GetNetMetrics().meetings_accepted.Increment();
+  }
+  if (complete && (!applied.applied || applied.salvaged)) {
+    ++stats_.corruptions_detected;
+    if (obs::Enabled()) GetNetMetrics().corruptions_detected.Increment();
+  }
+  const uint64_t wasted =
+      static_cast<uint64_t>(conn.blob.size() - applied.bytes_consumed);
+  stats_.wasted_bytes += wasted;
+  if (obs::Enabled() && wasted > 0) GetNetMetrics().wasted_bytes.Increment(wasted);
+}
+
+void PeerDaemon::OnMeetingBlobComplete(Connection& conn) {
+  const size_t blob_bytes = conn.blob.size();
+  if (conn.decline_meeting) {
+    ++stats_.meetings_declined;
+    stats_.wasted_bytes += blob_bytes;
+    if (obs::Enabled()) {
+      GetNetMetrics().meetings_declined.Increment();
+      GetNetMetrics().wasted_bytes.Increment(blob_bytes);
+    }
+    std::vector<uint8_t> out;
+    AppendMeetingDecline(static_cast<uint32_t>(peer_->id()), out);
+    (void)SendBytes(conn.fd.get(), out);
+  } else {
+    // Simultaneous-exchange semantics: serialize our message BEFORE
+    // applying the initiator's, exactly like MeetMeasured snapshots both
+    // views up front. This is what keeps a networked meeting bit-identical
+    // to the in-process one.
+    const std::vector<uint8_t> reply = peer_->EncodeMeetingBytes();
+    MeetingHeader header;
+    header.sender_id = static_cast<uint32_t>(peer_->id());
+    header.payload_bytes = static_cast<uint32_t>(reply.size());
+    std::vector<uint8_t> frame;
+    AppendMeetingHeader(NetMessageType::kMeetingReply, header, frame);
+    if (SendBytes(conn.fd.get(), frame).ok()) (void)SendBytes(conn.fd.get(), reply);
+    ApplyBlob(conn);
+  }
+  conn.blob_expected = 0;
+  conn.blob.clear();
+  conn.blob.shrink_to_fit();
+}
+
+void PeerDaemon::OnMeetingBlobTruncated(Connection& conn) {
+  ++stats_.truncations_detected;
+  if (obs::Enabled()) GetNetMetrics().truncations_detected.Increment();
+  if (conn.decline_meeting) {
+    stats_.wasted_bytes += conn.blob.size();
+    if (obs::Enabled()) GetNetMetrics().wasted_bytes.Increment(conn.blob.size());
+  } else {
+    // The initiator's transfer died mid-blob; the connection is gone, so no
+    // reply can be sent — this side still salvages the intact prefix (the
+    // one-sided application the fault model calls a truncated delivery).
+    ApplyBlob(conn);
+  }
+  conn.blob_expected = 0;
+  conn.blob.clear();
+}
+
+Status PeerDaemon::SendBytes(int fd, std::span<const uint8_t> data) {
+  size_t written = 0;
+  const uint64_t deadline = loop_->NowMs() + options_.io_timeout_ms;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return Status::IOError(std::string("write: ") + strerror(errno));
+    }
+    const uint64_t now = loop_->NowMs();
+    if (now >= deadline) return Status::IOError("write timeout");
+    pollfd pfd{fd, POLLOUT, 0};
+    (void)::poll(&pfd, 1, static_cast<int>(deadline - now));
+  }
+  stats_.bytes_sent += written;
+  if (obs::Enabled()) GetNetMetrics().bytes_sent.Increment(written);
+  return Status::OK();
+}
+
+MeetResultMessage PeerDaemon::MeetPeer(uint32_t partner_id, uint16_t port) {
+  MeetResultMessage result;
+  ++stats_.meetings_initiated;
+  ++stats_.dials;
+  if (obs::Enabled()) {
+    NetMetrics& metrics = GetNetMetrics();
+    metrics.meetings_initiated.Increment();
+    metrics.dials.Increment();
+  }
+  UniqueFd fd;
+  if (!ConnectLoopback(port, &fd).ok()) {
+    ++stats_.dial_failures;
+    ++stats_.meeting_failures;
+    if (obs::Enabled()) {
+      GetNetMetrics().dial_failures.Increment();
+      GetNetMetrics().meeting_failures.Increment();
+    }
+    return result;
+  }
+  SetIoTimeouts(fd.get(), options_.io_timeout_ms);
+
+  // Encode before any exchange: the initiator's message is a snapshot of
+  // its pre-meeting state (simultaneous-exchange semantics).
+  const std::vector<uint8_t> message = peer_->EncodeMeetingBytes();
+  std::vector<uint8_t> frames;
+  HelloMessage hello;
+  hello.peer_id = static_cast<uint32_t>(peer_->id());
+  hello.listen_port = advertised_port();
+  AppendHello(hello, frames);
+  MeetingHeader offer;
+  offer.sender_id = hello.peer_id;
+  offer.payload_bytes = static_cast<uint32_t>(message.size());
+  AppendMeetingHeader(NetMessageType::kMeetingOffer, offer, frames);
+  if (!WriteAll(fd.get(), frames).ok() || !WriteAll(fd.get(), message).ok()) {
+    ++stats_.meeting_failures;
+    if (obs::Enabled()) GetNetMetrics().meeting_failures.Increment();
+    return result;
+  }
+  const uint64_t sent = frames.size() + message.size();
+  result.bytes_sent = sent;
+  stats_.bytes_sent += sent;
+  if (obs::Enabled()) GetNetMetrics().bytes_sent.Increment(sent);
+
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+  if (!ReadFrameBlocking(fd.get(), &type, &payload).ok()) {
+    // The transfer (or the proxy) died before any reply frame — our own
+    // message may have been cut; the responder does the salvaging.
+    ++stats_.meeting_failures;
+    if (obs::Enabled()) GetNetMetrics().meeting_failures.Increment();
+    return result;
+  }
+  stats_.bytes_received += wire::kFrameHeaderBytes + payload.size();
+  if (obs::Enabled()) {
+    GetNetMetrics().bytes_received.Increment(wire::kFrameHeaderBytes + payload.size());
+  }
+  if (static_cast<NetMessageType>(type) == NetMessageType::kMeetingDecline) {
+    result.declined = true;
+    return result;
+  }
+  MeetingHeader reply;
+  if (static_cast<NetMessageType>(type) != NetMessageType::kMeetingReply ||
+      !ParseMeetingHeader(payload, &reply).ok()) {
+    ++stats_.protocol_errors;
+    ++stats_.meeting_failures;
+    if (obs::Enabled()) {
+      GetNetMetrics().protocol_errors.Increment();
+      GetNetMetrics().meeting_failures.Increment();
+    }
+    return result;
+  }
+  directory_.ObserveDirect(reply.sender_id, port, loop_->NowMs());
+
+  std::vector<uint8_t> blob;
+  const size_t received = ReadUpTo(fd.get(), reply.payload_bytes, &blob);
+  result.bytes_received = received;
+  stats_.bytes_received += received;
+  if (obs::Enabled()) GetNetMetrics().bytes_received.Increment(received);
+  const bool complete = received == reply.payload_bytes;
+  if (!complete) {
+    ++stats_.truncations_detected;
+    if (obs::Enabled()) GetNetMetrics().truncations_detected.Increment();
+  }
+  const core::RemoteMeetingApply applied = peer_->ApplyMeetingBytes(blob);
+  result.applied = applied.applied;
+  result.salvaged = applied.salvaged || !complete;
+  if (complete && (!applied.applied || applied.salvaged)) {
+    ++stats_.corruptions_detected;
+    if (obs::Enabled()) GetNetMetrics().corruptions_detected.Increment();
+  }
+  result.bytes_wasted = received - applied.bytes_consumed;
+  stats_.wasted_bytes += result.bytes_wasted;
+  if (obs::Enabled() && result.bytes_wasted > 0) {
+    GetNetMetrics().wasted_bytes.Increment(result.bytes_wasted);
+  }
+  return result;
+}
+
+void PeerDaemon::GossipOnce() {
+  PeerDirectory::Entry partner;
+  if (!directory_.SelectPartner(rng_, &partner)) return;
+  ++stats_.dials;
+  if (obs::Enabled()) GetNetMetrics().dials.Increment();
+  UniqueFd fd;
+  if (!ConnectLoopback(partner.port, &fd).ok()) {
+    ++stats_.dial_failures;
+    if (obs::Enabled()) GetNetMetrics().dial_failures.Increment();
+    // An unreachable peer is evidence of departure; the tombstone keeps
+    // gossip from re-suggesting it until it reappears first-hand.
+    directory_.MarkDeparted(partner.peer_id, loop_->NowMs());
+    UpdateDirectoryGauge();
+    return;
+  }
+  SetIoTimeouts(fd.get(), options_.io_timeout_ms);
+  const uint64_t now = loop_->NowMs();
+  std::vector<uint8_t> frames;
+  HelloMessage hello;
+  hello.peer_id = static_cast<uint32_t>(peer_->id());
+  hello.listen_port = advertised_port();
+  AppendHello(hello, frames);
+  PeerExchangeMessage exchange;
+  exchange.entries = directory_.GossipSample(now, 16, rng_);
+  AppendPeerExchange(exchange, frames);
+  if (!WriteAll(fd.get(), frames).ok()) return;
+  stats_.bytes_sent += frames.size();
+  if (obs::Enabled()) GetNetMetrics().bytes_sent.Increment(frames.size());
+
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+  if (!ReadFrameBlocking(fd.get(), &type, &payload).ok()) return;
+  PeerExchangeMessage reply;
+  if (static_cast<NetMessageType>(type) != NetMessageType::kPeerExchange ||
+      !ParsePeerExchange(payload, &reply).ok()) {
+    return;
+  }
+  stats_.bytes_received += wire::kFrameHeaderBytes + payload.size();
+  for (const GossipEntry& entry : reply.entries) {
+    directory_.ObserveGossip(entry, loop_->NowMs());
+  }
+  ++stats_.gossip_exchanges;
+  if (obs::Enabled()) GetNetMetrics().gossip_exchanges.Increment();
+  UpdateDirectoryGauge();
+}
+
+Status PeerDaemon::Checkpoint() {
+  if (options_.state_path.empty()) {
+    return Status::FailedPrecondition("no state path configured");
+  }
+  const Status status = core::SavePeerState(*peer_, options_.state_path);
+  if (status.ok()) {
+    ++stats_.checkpoints;
+    if (obs::Enabled()) GetNetMetrics().checkpoints.Increment();
+  }
+  return status;
+}
+
+void PeerDaemon::OnShutdownFdReadable() {
+  // One read only: the fd may be a blocking pipe, and a drain loop would
+  // block the loop thread once the signal byte is consumed.
+  uint8_t drain[16];
+  (void)!::read(options_.shutdown_fd, drain, sizeof(drain));
+  BeginShutdown();
+}
+
+void PeerDaemon::BeginShutdown() {
+  if (shutdown_begun_) return;
+  shutdown_begun_ = true;
+  // Quiesce first: meetings in flight on other connections decline from
+  // here on, so the checkpoint below is the peer's final state.
+  quiesced_ = true;
+  if (!options_.state_path.empty()) (void)Checkpoint();
+  if (options_.goodbye_on_shutdown) {
+    std::vector<uint8_t> goodbye;
+    AppendGoodbye(static_cast<uint32_t>(peer_->id()), goodbye);
+    for (const PeerDirectory::Entry& entry : directory_.AlivePeers()) {
+      if (entry.port == 0) continue;
+      UniqueFd fd;
+      if (!ConnectLoopback(entry.port, &fd).ok()) continue;
+      SetIoTimeouts(fd.get(), std::min<uint64_t>(options_.io_timeout_ms, 1000));
+      (void)WriteAll(fd.get(), goodbye);
+    }
+  }
+  loop_->Stop();
+}
+
+StatusReplyMessage PeerDaemon::BuildStatus() const {
+  StatusReplyMessage status;
+  status.peer_id = static_cast<uint32_t>(peer_->id());
+  status.num_meetings = peer_->num_meetings();
+  status.meetings_accepted = stats_.meetings_accepted;
+  status.local_pages = static_cast<uint32_t>(peer_->fragment().NumLocalPages());
+  status.world_entries = static_cast<uint32_t>(peer_->world_node().NumEntries());
+  status.directory_size = static_cast<uint32_t>(directory_.size());
+  status.quiesced = quiesced_;
+  return status;
+}
+
+ScoresReplyMessage PeerDaemon::BuildScores() const {
+  ScoresReplyMessage scores;
+  const graph::Subgraph& fragment = peer_->fragment();
+  const std::vector<double>& local = peer_->local_scores();
+  scores.entries.reserve(local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    ScoreEntry entry;
+    entry.page = fragment.GlobalId(static_cast<graph::Subgraph::LocalIndex>(i));
+    entry.score = local[i];
+    scores.entries.push_back(entry);
+  }
+  scores.world_score = peer_->world_score();
+  return scores;
+}
+
+}  // namespace net
+}  // namespace jxp

@@ -1,0 +1,160 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace jxp {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const char* what, int err) {
+  return Status::IOError(std::string(what) + ": " + strerror(err));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)", errno);
+  }
+  return Status::OK();
+}
+
+Status CreateLoopbackListener(uint16_t port, UniqueFd* out, uint16_t* bound_port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd) return ErrnoStatus("socket", errno);
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)", errno);
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (::listen(fd.get(), SOMAXCONN) < 0) return ErrnoStatus("listen", errno);
+  if (Status status = SetNonBlocking(fd.get()); !status.ok()) return status;
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) < 0) {
+      return ErrnoStatus("getsockname", errno);
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  *out = std::move(fd);
+  return Status::OK();
+}
+
+Status AcceptConnection(int listener_fd, UniqueFd* out) {
+  out->reset();
+  const int fd = ::accept4(listener_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    if (errno == EINTR || errno == ECONNABORTED) return Status::OK();
+    return ErrnoStatus("accept", errno);
+  }
+  UniqueFd accepted(fd);
+  if (Status status = SetNonBlocking(fd); !status.ok()) return status;
+  (void)SetNoDelay(fd);  // Best-effort.
+  *out = std::move(accepted);
+  return Status::OK();
+}
+
+Status ConnectLoopback(uint16_t port, UniqueFd* out) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd) return ErrnoStatus("socket", errno);
+  sockaddr_in addr = LoopbackAddr(port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return ErrnoStatus("connect", errno);
+  (void)SetNoDelay(fd.get());
+  *out = std::move(fd);
+  return Status::OK();
+}
+
+Status StartConnectLoopback(uint16_t port, UniqueFd* out) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0));
+  if (!fd) return ErrnoStatus("socket", errno);
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    return ErrnoStatus("connect", errno);
+  }
+  (void)SetNoDelay(fd.get());
+  *out = std::move(fd);
+  return Status::OK();
+}
+
+Status FinishConnect(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    return ErrnoStatus("getsockopt(SO_ERROR)", errno);
+  }
+  if (err != 0) return ErrnoStatus("connect", err);
+  return Status::OK();
+}
+
+Status WriteAll(int fd, std::span<const uint8_t> data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", errno);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadExact(int fd, uint8_t* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::read(fd, buf + done, n - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("read", errno);
+    }
+    if (got == 0) return Status::IOError("unexpected EOF");
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace jxp

@@ -80,6 +80,16 @@ struct DecodedMeeting {
   std::vector<uint64_t> synopsis_bitmaps;
   /// Bytes of fully-decoded frames (what the receiver actually consumed).
   size_t bytes_consumed = 0;
+  /// Where the next frame would start if the caller wants to reuse the
+  /// stream after a salvaged decode. When the rejected frame was still
+  /// syntactically delimited — header magic/version/length valid and the
+  /// checksum matching, i.e. only the *payload semantics* were rejected —
+  /// this points one past that frame, so the caller can resynchronize and
+  /// decode what follows as a fresh message. When the frame header itself
+  /// was untrustworthy (bad magic, corrupt length, checksum mismatch) no
+  /// boundary is knowable and this equals bytes_consumed. Equals
+  /// bytes_consumed on a fully-clean decode too.
+  size_t resync_offset = 0;
   size_t frames_decoded = 0;
   /// Why decoding stopped early; OK when the whole buffer decoded. At most
   /// one frame is rejected — everything after a bad frame is undecodable

@@ -6,11 +6,7 @@
 namespace jxp {
 namespace wire {
 
-namespace {
-
-/// The frame checksum: common FNV-1a/Mix64 over the 8 pre-checksum header
-/// bytes plus the payload.
-uint64_t FrameChecksum(const uint8_t* header8, std::span<const uint8_t> payload) {
+uint64_t ComputeFrameChecksum(const uint8_t* header8, std::span<const uint8_t> payload) {
   std::string buffer;
   buffer.reserve(kChecksumOffset + payload.size());
   buffer.append(reinterpret_cast<const char*>(header8), kChecksumOffset);
@@ -18,20 +14,22 @@ uint64_t FrameChecksum(const uint8_t* header8, std::span<const uint8_t> payload)
   return HashString(buffer);
 }
 
+namespace {
+
 bool ValidType(uint8_t type) {
   return type == static_cast<uint8_t>(MessageType::kScoreChunk) ||
          type == static_cast<uint8_t>(MessageType::kWorldKnowledge) ||
          type == static_cast<uint8_t>(MessageType::kSynopsis);
 }
 
-void WriteHeader(MessageType type, std::span<const uint8_t> payload, uint8_t* header) {
+void WriteHeader(uint8_t type, std::span<const uint8_t> payload, uint8_t* header) {
   header[0] = kMagic0;
   header[1] = kMagic1;
   header[2] = kVersion;
-  header[3] = static_cast<uint8_t>(type);
+  header[3] = type;
   const uint32_t len = static_cast<uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) header[4 + i] = static_cast<uint8_t>(len >> (8 * i));
-  const uint64_t checksum = FrameChecksum(header, payload);
+  const uint64_t checksum = ComputeFrameChecksum(header, payload);
   for (int i = 0; i < 8; ++i) {
     header[kChecksumOffset + i] = static_cast<uint8_t>(checksum >> (8 * i));
   }
@@ -77,6 +75,11 @@ bool ByteReader::GetVarint64(uint64_t* v) {
 
 void AppendFrame(MessageType type, std::span<const uint8_t> payload,
                  std::vector<uint8_t>& out) {
+  AppendFrameRaw(static_cast<uint8_t>(type), payload, out);
+}
+
+void AppendFrameRaw(uint8_t type, std::span<const uint8_t> payload,
+                    std::vector<uint8_t>& out) {
   uint8_t header[kFrameHeaderBytes];
   WriteHeader(type, payload, header);
   out.insert(out.end(), header, header + kFrameHeaderBytes);
@@ -88,7 +91,7 @@ void SealFrame(MessageType type, size_t payload_start, std::vector<uint8_t>& out
   uint8_t header[kFrameHeaderBytes];
   // The header depends only on the payload bytes, which insert() may move;
   // compute it first, from the payload at its pre-insert location.
-  WriteHeader(type,
+  WriteHeader(static_cast<uint8_t>(type),
               std::span<const uint8_t>(out.data() + payload_start,
                                        out.size() - payload_start),
               header);
@@ -127,7 +130,7 @@ Status ParseFrame(std::span<const uint8_t> data, size_t& offset, FrameView& fram
     stored |= static_cast<uint64_t>(header[kChecksumOffset + i]) << (8 * i);
   }
   const std::span<const uint8_t> payload(header + kFrameHeaderBytes, payload_len);
-  if (stored != FrameChecksum(header, payload)) {
+  if (stored != ComputeFrameChecksum(header, payload)) {
     return Status::Corruption("frame checksum mismatch");
   }
   frame.type = static_cast<MessageType>(header[3]);

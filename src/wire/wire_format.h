@@ -142,9 +142,22 @@ struct FrameView {
   std::span<const uint8_t> payload;
 };
 
+/// The frame checksum: common FNV-1a/Mix64 over the 8 pre-checksum header
+/// bytes plus the payload. Exposed so incremental reassemblers
+/// (FrameAssembler) and other transports can verify frames without
+/// re-implementing the hash.
+uint64_t ComputeFrameChecksum(const uint8_t* header8, std::span<const uint8_t> payload);
+
 /// Appends one frame (header + `payload`) to `out`.
 void AppendFrame(MessageType type, std::span<const uint8_t> payload,
                  std::vector<uint8_t>& out);
+
+/// Same framing with an arbitrary type byte. The meeting decoder rejects
+/// types outside MessageType; this overload exists for layers that define
+/// their own type space over the same frame header (src/net's control
+/// protocol uses 0x10+).
+void AppendFrameRaw(uint8_t type, std::span<const uint8_t> payload,
+                    std::vector<uint8_t>& out);
 
 /// Convenience: frames the bytes `out[payload_start:]` in place, i.e. the
 /// payload was written directly into `out` and the 16 header bytes are

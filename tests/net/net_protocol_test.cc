@@ -1,0 +1,213 @@
+#include "net/net_protocol.h"
+
+#include <cmath>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "wire/frame_assembler.h"
+
+namespace jxp {
+namespace net {
+namespace {
+
+/// Feeds one encoded frame through a FrameAssembler and returns its payload
+/// (the same path the daemon uses), checking the type byte.
+std::vector<uint8_t> PayloadOf(const std::vector<uint8_t>& frame, NetMessageType type) {
+  wire::FrameAssembler assembler;
+  EXPECT_EQ(assembler.Feed(frame), frame.size());
+  EXPECT_TRUE(assembler.HasFrame()) << assembler.error().ToString();
+  EXPECT_EQ(assembler.frame_type(), static_cast<uint8_t>(type));
+  return std::vector<uint8_t>(assembler.frame_payload().begin(),
+                              assembler.frame_payload().end());
+}
+
+TEST(NetProtocolTest, HelloRoundTrip) {
+  HelloMessage in;
+  in.peer_id = 42;
+  in.listen_port = 65535;
+  std::vector<uint8_t> frame;
+  AppendHello(in, frame);
+  HelloMessage out;
+  ASSERT_TRUE(ParseHello(PayloadOf(frame, NetMessageType::kHello), &out).ok());
+  EXPECT_EQ(out.peer_id, 42u);
+  EXPECT_EQ(out.listen_port, 65535);
+}
+
+TEST(NetProtocolTest, PeerExchangeRoundTrip) {
+  PeerExchangeMessage in;
+  in.entries.push_back({1, 1000, 0, false});
+  in.entries.push_back({2, 2000, 12345, true});
+  in.entries.push_back({0xffffffff, 1, 0xfffffffe, false});
+  std::vector<uint8_t> frame;
+  AppendPeerExchange(in, frame);
+  PeerExchangeMessage out;
+  ASSERT_TRUE(
+      ParsePeerExchange(PayloadOf(frame, NetMessageType::kPeerExchange), &out).ok());
+  ASSERT_EQ(out.entries.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.entries[i].peer_id, in.entries[i].peer_id);
+    EXPECT_EQ(out.entries[i].port, in.entries[i].port);
+    EXPECT_EQ(out.entries[i].age_ms, in.entries[i].age_ms);
+    EXPECT_EQ(out.entries[i].departed, in.entries[i].departed);
+  }
+}
+
+TEST(NetProtocolTest, MeetingHeaderRoundTripBothTypes) {
+  MeetingHeader in;
+  in.sender_id = 7;
+  in.payload_bytes = 123456789;
+  for (const NetMessageType type :
+       {NetMessageType::kMeetingOffer, NetMessageType::kMeetingReply}) {
+    std::vector<uint8_t> frame;
+    AppendMeetingHeader(type, in, frame);
+    MeetingHeader out;
+    ASSERT_TRUE(ParseMeetingHeader(PayloadOf(frame, type), &out).ok());
+    EXPECT_EQ(out.sender_id, 7u);
+    EXPECT_EQ(out.payload_bytes, 123456789u);
+  }
+}
+
+TEST(NetProtocolTest, MeetCommandAndResultRoundTrip) {
+  MeetCommandMessage command;
+  command.partner_id = 3;
+  command.port = 40123;
+  std::vector<uint8_t> frame;
+  AppendMeetCommand(command, frame);
+  MeetCommandMessage command_out;
+  ASSERT_TRUE(
+      ParseMeetCommand(PayloadOf(frame, NetMessageType::kMeetCommand), &command_out)
+          .ok());
+  EXPECT_EQ(command_out.partner_id, 3u);
+  EXPECT_EQ(command_out.port, 40123);
+
+  MeetResultMessage result;
+  result.applied = true;
+  result.salvaged = true;
+  result.declined = false;
+  result.bytes_sent = 1ull << 40;
+  result.bytes_received = 77;
+  result.bytes_wasted = 33;
+  frame.clear();
+  AppendMeetResult(result, frame);
+  MeetResultMessage result_out;
+  ASSERT_TRUE(
+      ParseMeetResult(PayloadOf(frame, NetMessageType::kMeetResult), &result_out).ok());
+  EXPECT_TRUE(result_out.applied);
+  EXPECT_TRUE(result_out.salvaged);
+  EXPECT_FALSE(result_out.declined);
+  EXPECT_EQ(result_out.bytes_sent, 1ull << 40);
+  EXPECT_EQ(result_out.bytes_received, 77u);
+  EXPECT_EQ(result_out.bytes_wasted, 33u);
+}
+
+TEST(NetProtocolTest, StatusReplyRoundTrip) {
+  StatusReplyMessage in;
+  in.peer_id = 9;
+  in.num_meetings = 1ull << 33;
+  in.meetings_accepted = 17;
+  in.local_pages = 1000;
+  in.world_entries = 2000;
+  in.directory_size = 7;
+  in.quiesced = true;
+  std::vector<uint8_t> frame;
+  AppendStatusReply(in, frame);
+  StatusReplyMessage out;
+  ASSERT_TRUE(
+      ParseStatusReply(PayloadOf(frame, NetMessageType::kStatusReply), &out).ok());
+  EXPECT_EQ(out.peer_id, 9u);
+  EXPECT_EQ(out.num_meetings, 1ull << 33);
+  EXPECT_EQ(out.meetings_accepted, 17u);
+  EXPECT_EQ(out.local_pages, 1000u);
+  EXPECT_EQ(out.world_entries, 2000u);
+  EXPECT_EQ(out.directory_size, 7u);
+  EXPECT_TRUE(out.quiesced);
+}
+
+TEST(NetProtocolTest, ScoresReplyRoundTripsDoublesBitExactly) {
+  ScoresReplyMessage in;
+  in.entries.push_back({0, 0.15234567891234567});
+  in.entries.push_back({1, 5e-324});            // Smallest subnormal.
+  in.entries.push_back({2, 0.9999999999999999});
+  in.world_score = 1.0 / 3.0;
+  std::vector<uint8_t> frame;
+  AppendScoresReply(in, frame);
+  ScoresReplyMessage out;
+  ASSERT_TRUE(
+      ParseScoresReply(PayloadOf(frame, NetMessageType::kScoresReply), &out).ok());
+  ASSERT_EQ(out.entries.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.entries[i].page, in.entries[i].page);
+    uint64_t in_bits = 0, out_bits = 0;
+    std::memcpy(&in_bits, &in.entries[i].score, sizeof(in_bits));
+    std::memcpy(&out_bits, &out.entries[i].score, sizeof(out_bits));
+    EXPECT_EQ(out_bits, in_bits);
+  }
+  EXPECT_EQ(out.world_score, 1.0 / 3.0);
+}
+
+TEST(NetProtocolTest, AckRoundTrip) {
+  AckMessage in;
+  in.ok = false;
+  in.detail = "disk full";
+  std::vector<uint8_t> frame;
+  AppendAck(NetMessageType::kCheckpointReply, in, frame);
+  AckMessage out;
+  ASSERT_TRUE(ParseAck(PayloadOf(frame, NetMessageType::kCheckpointReply), &out).ok());
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.detail, "disk full");
+}
+
+TEST(NetProtocolTest, GoodbyeAndDeclineCarrySenderId) {
+  std::vector<uint8_t> frame;
+  AppendGoodbye(11, frame);
+  uint32_t sender = 0;
+  ASSERT_TRUE(ParseSenderId(PayloadOf(frame, NetMessageType::kGoodbye), &sender).ok());
+  EXPECT_EQ(sender, 11u);
+
+  frame.clear();
+  AppendMeetingDecline(12, frame);
+  ASSERT_TRUE(
+      ParseSenderId(PayloadOf(frame, NetMessageType::kMeetingDecline), &sender).ok());
+  EXPECT_EQ(sender, 12u);
+}
+
+TEST(NetProtocolTest, ParsersRejectTruncatedPayloads) {
+  PeerExchangeMessage exchange;
+  exchange.entries.push_back({1, 2, 3, false});
+  std::vector<uint8_t> frame;
+  AppendPeerExchange(exchange, frame);
+  std::vector<uint8_t> payload = PayloadOf(frame, NetMessageType::kPeerExchange);
+  ASSERT_FALSE(payload.empty());
+  payload.pop_back();
+  PeerExchangeMessage out;
+  EXPECT_FALSE(ParsePeerExchange(payload, &out).ok());
+
+  StatusReplyMessage status;
+  frame.clear();
+  AppendStatusReply(status, frame);
+  payload = PayloadOf(frame, NetMessageType::kStatusReply);
+  payload.resize(payload.size() / 2);
+  StatusReplyMessage status_out;
+  EXPECT_FALSE(ParseStatusReply(payload, &status_out).ok());
+}
+
+TEST(NetProtocolTest, NetTypesAreDisjointFromMeetingPayloadTypes) {
+  // The frozen meeting types are 1..3; every net type must be >= 0x10 so a
+  // net frame can never be mistaken for meeting content.
+  for (const NetMessageType type :
+       {NetMessageType::kHello, NetMessageType::kPeerExchange,
+        NetMessageType::kMeetingOffer, NetMessageType::kMeetingReply,
+        NetMessageType::kMeetingDecline, NetMessageType::kGoodbye,
+        NetMessageType::kStatusRequest, NetMessageType::kStatusReply,
+        NetMessageType::kCheckpointRequest, NetMessageType::kCheckpointReply,
+        NetMessageType::kQuiesceRequest, NetMessageType::kQuiesceReply,
+        NetMessageType::kMeetCommand, NetMessageType::kMeetResult,
+        NetMessageType::kScoresRequest, NetMessageType::kScoresReply}) {
+    EXPECT_GE(static_cast<uint8_t>(type), 0x10);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace jxp

@@ -237,6 +237,64 @@ TEST(MeetingCodecTest, CorruptCountsCannotForceHugeAllocations) {
   EXPECT_TRUE(out.pages.empty());
 }
 
+TEST(MeetingCodecTest, ResyncOffsetSkipsSemanticallyRejectedFrame) {
+  // A checksum-valid frame whose payload semantics are rejected (absurd
+  // record count) still has a trustworthy extent: resync_offset must point
+  // one past it so a stream reader can recover what follows.
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutVarint32(0);           // first_index
+  writer.PutVarint32(0x0fffffff);  // absurd record count
+  std::vector<uint8_t> bytes;
+  AppendFrame(MessageType::kScoreChunk, payload, bytes);
+  const size_t bad_frame_end = bytes.size();
+
+  const std::vector<graph::PageId> targets = {5};
+  const std::vector<WorldEntryIn> entries = {{100, 2, 0.1, targets}};
+  EncodeWorldKnowledge(entries, {}, bytes);
+
+  const DecodedMeeting decoded = DecodeMeeting(bytes);
+  EXPECT_FALSE(decoded.error.ok());
+  EXPECT_EQ(decoded.bytes_consumed, 0u);
+  EXPECT_EQ(decoded.resync_offset, bad_frame_end);
+
+  // Resynchronizing past the rejected frame recovers the world knowledge.
+  const DecodedMeeting rest = DecodeMeeting(
+      std::span<const uint8_t>(bytes).subspan(decoded.resync_offset));
+  EXPECT_TRUE(rest.error.ok()) << rest.error.ToString();
+  ASSERT_EQ(rest.world_entries.size(), 1u);
+  EXPECT_EQ(rest.world_entries[0].page, 100u);
+}
+
+TEST(MeetingCodecTest, ResyncOffsetEqualsConsumedWhenFrameUntrustworthy) {
+  // A checksum mismatch means the declared length cannot be trusted, so no
+  // resynchronization point exists past the salvaged prefix.
+  const graph::Subgraph fragment = MakeFragment(100);
+  std::vector<uint8_t> bytes;
+  EncodeScoreList(fragment, MakeScores(100), EncodeOptions{}, bytes);
+  size_t offset = 0;
+  FrameView frame;
+  ASSERT_TRUE(ParseFrame(bytes, offset, frame).ok());
+  const size_t first_chunk = offset;
+
+  std::vector<uint8_t> corrupt = bytes;
+  corrupt[first_chunk + 20] ^= 0x04;  // Inside the second frame.
+  const DecodedMeeting decoded = DecodeMeeting(corrupt);
+  EXPECT_FALSE(decoded.error.ok());
+  EXPECT_EQ(decoded.bytes_consumed, first_chunk);
+  EXPECT_EQ(decoded.resync_offset, first_chunk);
+}
+
+TEST(MeetingCodecTest, ResyncOffsetEqualsConsumedOnCleanDecode) {
+  const graph::Subgraph fragment = MakeFragment(10);
+  std::vector<uint8_t> bytes;
+  EncodeScoreList(fragment, MakeScores(10), EncodeOptions{}, bytes);
+  const DecodedMeeting decoded = DecodeMeeting(bytes);
+  EXPECT_TRUE(decoded.error.ok());
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+  EXPECT_EQ(decoded.resync_offset, bytes.size());
+}
+
 TEST(MeetingCodecTest, NonFiniteAndNegativeScoresRejected) {
   for (const float bad : {-0.25f, std::numeric_limits<float>::infinity(),
                           std::numeric_limits<float>::quiet_NaN()}) {
