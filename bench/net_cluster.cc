@@ -6,18 +6,27 @@
 // itself with a fault-injecting proxy and the run instead verifies crash-free
 // degradation plus exact injected-vs-detected fault accounting.
 //
+// With --self-scheduled, the daemons instead drive their own meetings
+// (MeetingScheduler + ConnectionPool, DESIGN.md §6l) and the driver samples
+// wall-clock vs accuracy until the cluster reaches the accuracy the oracle
+// had after --meetings meetings (fig. 4 analogue), checking Thm 5.3 at
+// every sample and that pooled dials stay strictly below meetings.
+//
 //   net_cluster --peers=8 --meetings=64 --nodes=400 --seed=7 \
 //       --out-dir=/tmp/net_cluster [--chaos --drop=0.05 --truncate=0.05 \
-//       --corrupt=0.05] [--restart-peer=0]
+//       --corrupt=0.05] [--restart-peer=0] [--self-scheduled \
+//       --meet-interval-ms=40 --sample-every-ms=250 --max-wall-ms=60000]
 //
 // Exit code 0 = all checks passed. Per-daemon JSONL telemetry is written to
-// <out-dir>/peer_<id>.jsonl; the driver prints a one-line JSON summary.
+// <out-dir>/peer_<id>.jsonl (plus self_scheduled.jsonl samples in the
+// self-scheduled arm); the driver prints a one-line JSON summary.
 
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -26,10 +35,12 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/random.h"
+#include "core/evaluation.h"
 #include "core/jxp_peer.h"
 #include "core/simulation.h"
 #include "core/state_io.h"
@@ -58,6 +69,26 @@ struct ClusterConfig {
   double drop = 0.05;
   double truncate = 0.05;
   double corrupt = 0.05;
+
+  /// Fig. 4 analogue (DESIGN.md §6l): instead of replaying the oracle's
+  /// schedule, daemons run their own MeetingScheduler and the driver only
+  /// samples wall-clock vs accuracy until the cluster reaches the accuracy
+  /// the oracle had after `meetings` meetings. Restarts are a replay-mode
+  /// feature and are ignored here.
+  bool self_scheduled = false;
+  uint64_t meet_interval_ms = 40;
+  uint64_t meet_jitter_ms = 40;
+  uint64_t gossip_interval_ms = 100;
+  uint64_t sample_every_ms = 250;
+  uint64_t max_wall_ms = 60000;
+  /// Networked target = oracle footrule * slack + 1e-6 (the networked
+  /// schedule differs, so exact equality is not the bar — reaching the same
+  /// accuracy regime is).
+  double target_slack = 1.10;
+  /// 0 = auto: replay keeps the daemon default; self-scheduled drops to
+  /// 1000 so dial collisions (both daemons mid-MeetPeer at each other)
+  /// resolve quickly.
+  uint64_t io_timeout_ms = 0;
 };
 
 core::JxpOptions PeerOptions() {
@@ -98,8 +129,11 @@ void OnSigTerm(int) {
 
 /// Child body: load state, serve until SIGTERM, checkpoint, dump telemetry,
 /// exit 0. Reports "<bound_port> <advertised_port>\n" on `report_fd`.
+/// `seeds` pre-populates the gossip directory (self-scheduled bootstrap:
+/// each daemon knows the ones spawned before it; gossip spreads the rest).
 int RunDaemon(const ClusterConfig& config, size_t peer_id,
-              const std::string& state_in, int report_fd) {
+              const std::string& state_in,
+              const std::vector<net::GossipEntry>& seeds, int report_fd) {
   StatusOr<core::JxpPeer> loaded = core::LoadPeerState(state_in, PeerOptions());
   if (!loaded.ok()) {
     std::fprintf(stderr, "peer %zu: load failed: %s\n", peer_id,
@@ -118,6 +152,19 @@ int RunDaemon(const ClusterConfig& config, size_t peer_id,
   options.state_path = StatePath(config.out_dir, "ckpt", peer_id);
   options.shutdown_fd = shutdown_pipe[0];
   options.rng_seed = config.seed + peer_id;
+  if (config.io_timeout_ms != 0) {
+    options.io_timeout_ms = config.io_timeout_ms;
+  } else if (config.self_scheduled) {
+    options.io_timeout_ms = 1000;
+  }
+  if (config.self_scheduled) {
+    options.seed_peers = seeds;
+    options.gossip_interval_ms = config.gossip_interval_ms;
+    options.scheduler.enabled = true;
+    options.scheduler.autostart = false;  // Driver starts the whole cluster.
+    options.scheduler.interval_ms = config.meet_interval_ms;
+    options.scheduler.jitter_ms = config.meet_jitter_ms;
+  }
   net::EventLoop loop;
   net::PeerDaemon daemon(std::make_unique<core::JxpPeer>(std::move(loaded.value())),
                          options);
@@ -162,6 +209,7 @@ int RunDaemon(const ClusterConfig& config, size_t peer_id,
       .Field("world_score", daemon.peer().world_score())
       .Field("accepts", stats.accepts)
       .Field("dials", stats.dials)
+      .Field("dial_failures", stats.dial_failures)
       .Field("meetings_initiated", stats.meetings_initiated)
       .Field("meetings_accepted", stats.meetings_accepted)
       .Field("meetings_declined", stats.meetings_declined)
@@ -172,7 +220,28 @@ int RunDaemon(const ClusterConfig& config, size_t peer_id,
       .Field("bytes_received", stats.bytes_received)
       .Field("wasted_bytes", stats.wasted_bytes)
       .Field("checkpoints", stats.checkpoints)
-      .Field("protocol_errors", stats.protocol_errors);
+      .Field("protocol_errors", stats.protocol_errors)
+      .Field("gossip_exchanges", stats.gossip_exchanges);
+  const net::ConnectionPoolStats& pool = daemon.pool().stats();
+  line.Field("pool_reuses", pool.reuses)
+      .Field("pool_half_open", pool.half_open_detected)
+      .Field("pool_redials", pool.redials)
+      .Field("pool_evictions_idle", pool.evictions_idle)
+      .Field("pool_evictions_lru", pool.evictions_lru)
+      .Field("pool_busy_rejections", pool.busy_rejections)
+      .Field("pool_released_broken", pool.released_broken);
+  if (daemon.scheduler() != nullptr) {
+    const net::MeetingSchedulerStats& sched = daemon.scheduler()->stats();
+    line.Field("sched_ticks", sched.ticks)
+        .Field("sched_meetings_started", sched.meetings_started)
+        .Field("sched_meetings_applied", sched.meetings_applied)
+        .Field("sched_declines", sched.declines)
+        .Field("sched_failures", sched.failures)
+        .Field("sched_busy", sched.busy)
+        .Field("sched_skips_no_partner", sched.skips_no_partner)
+        .Field("sched_skips_backoff", sched.skips_backoff)
+        .Field("sched_backoffs_armed", sched.backoffs_armed);
+  }
   if (proxy != nullptr) {
     const net::ChaosProxyStats injected = proxy->stats();
     line.Field("injected_dropped", injected.blobs_dropped)
@@ -197,14 +266,15 @@ struct Child {
 
 /// Forks one daemon child and reads back its ports.
 bool SpawnDaemon(const ClusterConfig& config, size_t peer_id,
-                 const std::string& state_in, Child* child) {
+                 const std::string& state_in,
+                 const std::vector<net::GossipEntry>& seeds, Child* child) {
   int report_pipe[2];
   if (::pipe(report_pipe) != 0) return false;
   const pid_t pid = ::fork();
   if (pid < 0) return false;
   if (pid == 0) {
     ::close(report_pipe[0]);
-    ::_exit(RunDaemon(config, peer_id, state_in, report_pipe[1]));
+    ::_exit(RunDaemon(config, peer_id, state_in, seeds, report_pipe[1]));
   }
   ::close(report_pipe[1]);
   char buffer[64] = {};
@@ -255,7 +325,249 @@ uint64_t SumJsonlField(const ClusterConfig& config, const std::string& field) {
   return total;
 }
 
+/// Self-scheduled arm (fig. 4 analogue): the daemons drive their own
+/// meetings; the driver only starts them, samples wall-clock vs accuracy,
+/// checks Thm 5.3 at every sample, and drains when the cluster reaches the
+/// accuracy the oracle had after `meetings` replayed meetings. One JSONL
+/// row per sample lands in <out-dir>/self_scheduled.jsonl.
+int RunSelfScheduled(const ClusterConfig& config) {
+  std::string mkdir = "mkdir -p " + config.out_dir;
+  if (std::system(mkdir.c_str()) != 0) return 1;
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    std::remove((config.out_dir + "/peer_" + std::to_string(peer) + ".jsonl").c_str());
+  }
+  const std::string fig_path = config.out_dir + "/self_scheduled.jsonl";
+  std::remove(fig_path.c_str());
+
+  // --- Oracle: fixes the accuracy bar, not the schedule.
+  Random graph_rng(config.seed);
+  const graph::Graph global = graph::BarabasiAlbert(config.nodes, 3, graph_rng);
+  core::SimulationConfig sim_config;
+  sim_config.jxp = PeerOptions();
+  sim_config.seed = config.seed;
+  core::JxpSimulation oracle(global,
+                             MakeFragments(config.nodes, config.peers, config.seed),
+                             sim_config);
+  if (Status status = oracle.SaveAllPeerStates(config.out_dir); !status.ok()) {
+    std::fprintf(stderr, "driver: save initial states: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    const std::string from = config.out_dir + "/peer_" + std::to_string(peer) + ".jxp";
+    std::rename(from.c_str(), StatePath(config.out_dir, "init", peer).c_str());
+  }
+  oracle.RunMeetings(config.meetings);
+  const core::AccuracyPoint oracle_accuracy =
+      core::EvaluateAccuracy(oracle.GlobalJxpScores(), oracle.global_top_k());
+  const double target_footrule =
+      oracle_accuracy.footrule * config.target_slack + 1e-6;
+  std::fprintf(stderr,
+               "driver: oracle footrule %.6f after %zu meetings; target %.6f\n",
+               oracle_accuracy.footrule, config.meetings, target_footrule);
+
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "driver: CHECK FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+
+  // --- Decentralized bootstrap: spawn sequentially, daemon i seeded with
+  // daemons 0..i-1 (daemon 0 starts alone and learns the rest from their
+  // Hellos and gossip).
+  std::vector<Child> children(config.peers);
+  std::vector<net::GossipEntry> seeds;
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    if (!SpawnDaemon(config, peer, StatePath(config.out_dir, "init", peer), seeds,
+                     &children[peer])) {
+      std::fprintf(stderr, "driver: spawn of peer %zu failed\n", peer);
+      return 1;
+    }
+    net::GossipEntry entry;
+    entry.peer_id = static_cast<uint32_t>(peer);
+    entry.port = children[peer].advertised_port;
+    seeds.push_back(entry);
+  }
+  std::fprintf(stderr, "driver: %zu autonomous daemons up\n", config.peers);
+
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    net::ControlClient control;
+    check(control.Connect(children[peer].bound_port).ok() &&
+              control.StartScheduler().ok(),
+          "scheduler start round trip");
+  }
+
+  // --- Sample until converged (or the wall-clock budget runs out).
+  const auto t0 = std::chrono::steady_clock::now();
+  std::ofstream fig(fig_path);
+  bool converged = false;
+  uint64_t final_meetings = 0, final_dials = 0, final_reuses = 0;
+  double footrule = 1.0;
+  while (true) {
+    ::usleep(static_cast<useconds_t>(config.sample_every_ms * 1000));
+    const uint64_t wall_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    // Rebuild the evaluation table from the wire: page -> average over the
+    // peers holding it (BuildGlobalJxpScores's rule).
+    std::unordered_map<graph::PageId, double> sum;
+    std::unordered_map<graph::PageId, size_t> count;
+    uint64_t meetings = 0, dials = 0, reuses = 0;
+    bool sample_ok = true;
+    constexpr double kUpperBoundSlack = 1e-9;
+    for (size_t peer = 0; peer < config.peers; ++peer) {
+      net::ControlClient control;
+      if (!control.Connect(children[peer].bound_port).ok()) {
+        sample_ok = false;
+        continue;
+      }
+      net::ScoresReplyMessage scores;
+      if (!control.GetScores(&scores).ok()) {
+        sample_ok = false;
+        continue;
+      }
+      for (const net::ScoreEntry& entry : scores.entries) {
+        // Thm 5.3 holds under ANY meeting schedule, including the
+        // autonomous one with faults: scores never overestimate true PR.
+        if (entry.score > oracle.global_scores()[entry.page] + kUpperBoundSlack) {
+          check(false, "Theorem 5.3 never-overestimate at sample");
+          break;
+        }
+        sum[entry.page] += entry.score;
+        ++count[entry.page];
+      }
+      net::NetStatsReplyMessage net_stats;
+      if (control.GetNetStats(&net_stats).ok()) {
+        meetings += net_stats.meetings_initiated;
+        dials += net_stats.dials;
+        reuses += net_stats.pool_reuses;
+      } else {
+        sample_ok = false;
+      }
+    }
+    if (sample_ok) {
+      std::unordered_map<graph::PageId, double> combined;
+      combined.reserve(sum.size());
+      for (const auto& [page, total] : sum) combined[page] = total / count[page];
+      const core::AccuracyPoint accuracy =
+          core::EvaluateAccuracy(combined, oracle.global_top_k());
+      footrule = accuracy.footrule;
+      final_meetings = meetings;
+      final_dials = dials;
+      final_reuses = reuses;
+      obs::JsonWriter row;
+      row.Field("bench", "net_cluster_self_scheduled")
+          .Field("wall_ms", wall_ms)
+          .Field("footrule", accuracy.footrule)
+          .Field("linear_error", accuracy.linear_error)
+          .Field("meetings", meetings)
+          .Field("meetings_per_sec",
+                 wall_ms > 0 ? meetings * 1000.0 / static_cast<double>(wall_ms) : 0.0)
+          .Field("dials", dials)
+          .Field("reuses", reuses);
+      fig << row.TakeLine() << "\n";
+      // Done when the cluster is at the oracle's accuracy AND pooling has
+      // amortized the bootstrap fan-out (dials plateau at ~one per peer
+      // pair while meetings keep accruing — the fig. 4 analogue's point).
+      if (accuracy.footrule <= target_footrule && meetings > 0 && dials < meetings) {
+        converged = true;
+        break;
+      }
+    }
+    if (wall_ms >= config.max_wall_ms) break;
+  }
+  fig.close();
+
+  // Chaos trades meetings for faults; that arm's pass/fail is safety plus
+  // exact accounting, not the accuracy bar.
+  if (!config.chaos) {
+    check(converged, "self-scheduled cluster reached the oracle accuracy target");
+  }
+  check(final_meetings > 0, "autonomous meetings happened");
+  check(final_dials > 0, "pool dialed at least once");
+  check(final_reuses > 0, "pool reused connections across meetings");
+  check(final_dials < final_meetings,
+        "persistent pool: dials strictly fewer than meetings");
+
+  // --- Drain-and-quiesce through the control plane, verify terminal state.
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    net::ControlClient control;
+    if (!control.Connect(children[peer].bound_port).ok() || !control.Drain().ok()) {
+      check(false, "drain round trip");
+      continue;
+    }
+    net::NetStatsReplyMessage net_stats;
+    if (control.GetNetStats(&net_stats).ok()) {
+      check(net_stats.scheduler_state ==
+                static_cast<uint8_t>(net::SchedulerState::kDrained),
+            "scheduler drained after drain request");
+      check(net_stats.pool_open_connections == 0, "pool closed after drain");
+    } else {
+      check(false, "net stats after drain");
+    }
+  }
+
+  // --- Shutdown and fault accounting (same exactness bar as replay mode).
+  ::usleep(300000);
+  for (size_t peer = 0; peer < config.peers; ++peer) {
+    check(StopDaemon(&children[peer]), "daemon exited cleanly with 0");
+  }
+  const uint64_t detected_truncations = SumJsonlField(config, "truncations_detected");
+  const uint64_t detected_corruptions = SumJsonlField(config, "corruptions_detected");
+  const uint64_t wasted = SumJsonlField(config, "wasted_bytes");
+  const uint64_t pool_half_open = SumJsonlField(config, "pool_half_open");
+  const uint64_t pool_redials = SumJsonlField(config, "pool_redials");
+  const uint64_t dial_failures = SumJsonlField(config, "dial_failures");
+  uint64_t injected_torn = 0, injected_corrupted = 0;
+  if (config.chaos) {
+    injected_torn = SumJsonlField(config, "injected_dropped") +
+                    SumJsonlField(config, "injected_truncated");
+    injected_corrupted = SumJsonlField(config, "injected_corrupted");
+    check(detected_truncations == injected_torn,
+          "injected drops+truncations == detected truncations");
+    check(detected_corruptions == injected_corrupted,
+          "injected corruptions == detected corruptions");
+  } else {
+    check(detected_truncations == 0, "no truncations in clean run");
+    check(detected_corruptions == 0, "no corruptions in clean run");
+    check(wasted == 0, "no wasted bytes in clean run");
+    // Teardown accounting (DESIGN.md §6l): every daemon stays reachable in
+    // a clean run, so a pooled connection found dead must surface as pool
+    // accounting, never as a spurious dial failure.
+    check(dial_failures == 0, "no dial failures in clean run");
+  }
+
+  obs::JsonWriter summary;
+  summary.Field("bench", "net_cluster_self_scheduled")
+      .Field("peers", config.peers)
+      .Field("converged", converged)
+      .Field("footrule", footrule)
+      .Field("target_footrule", target_footrule)
+      .Field("oracle_footrule", oracle_accuracy.footrule)
+      .Field("meetings", final_meetings)
+      .Field("dials", final_dials)
+      .Field("reuses", final_reuses)
+      .Field("pool_half_open", pool_half_open)
+      .Field("pool_redials", pool_redials)
+      .Field("dial_failures", dial_failures)
+      .Field("chaos", config.chaos)
+      .Field("detected_truncations", detected_truncations)
+      .Field("detected_corruptions", detected_corruptions)
+      .Field("injected_torn", injected_torn)
+      .Field("injected_corrupted", injected_corrupted)
+      .Field("wasted_bytes", wasted)
+      .Field("failures", failures);
+  std::printf("%s\n", summary.TakeLine().c_str());
+  return failures == 0 ? 0 : 1;
+}
+
 int RunDriver(const ClusterConfig& config) {
+  // The driver's control connections can hit daemons mid-teardown; EPIPE
+  // must come back as a Status, not kill the driver.
+  ::signal(SIGPIPE, SIG_IGN);
+  if (config.self_scheduled) return RunSelfScheduled(config);
   std::string mkdir = "mkdir -p " + config.out_dir;
   if (std::system(mkdir.c_str()) != 0) return 1;
   for (size_t peer = 0; peer < config.peers; ++peer) {
@@ -289,7 +601,7 @@ int RunDriver(const ClusterConfig& config) {
   // --- Fork the cluster.
   std::vector<Child> children(config.peers);
   for (size_t peer = 0; peer < config.peers; ++peer) {
-    if (!SpawnDaemon(config, peer, StatePath(config.out_dir, "init", peer),
+    if (!SpawnDaemon(config, peer, StatePath(config.out_dir, "init", peer), {},
                      &children[peer])) {
       std::fprintf(stderr, "driver: spawn of peer %zu failed\n", peer);
       return 1;
@@ -316,7 +628,7 @@ int RunDriver(const ClusterConfig& config) {
         static_cast<size_t>(config.restart_peer) < config.peers) {
       const size_t target = static_cast<size_t>(config.restart_peer);
       check(StopDaemon(&children[target]), "restarted daemon exited cleanly");
-      check(SpawnDaemon(config, target, StatePath(config.out_dir, "ckpt", target),
+      check(SpawnDaemon(config, target, StatePath(config.out_dir, "ckpt", target), {},
                         &children[target]),
             "restarted daemon came back");
       restarted_at = m;
@@ -464,5 +776,17 @@ int main(int argc, char** argv) {
   config.drop = flags.GetDouble("drop", 0.05);
   config.truncate = flags.GetDouble("truncate", 0.05);
   config.corrupt = flags.GetDouble("corrupt", 0.05);
+  config.self_scheduled =
+      flags.GetBool("self-scheduled", flags.GetBool("self_scheduled", false));
+  config.meet_interval_ms =
+      static_cast<uint64_t>(flags.GetInt("meet-interval-ms", 40));
+  config.meet_jitter_ms = static_cast<uint64_t>(flags.GetInt("meet-jitter-ms", 40));
+  config.gossip_interval_ms =
+      static_cast<uint64_t>(flags.GetInt("gossip-interval-ms", 100));
+  config.sample_every_ms =
+      static_cast<uint64_t>(flags.GetInt("sample-every-ms", 250));
+  config.max_wall_ms = static_cast<uint64_t>(flags.GetInt("max-wall-ms", 60000));
+  config.target_slack = flags.GetDouble("target-slack", 1.10);
+  config.io_timeout_ms = static_cast<uint64_t>(flags.GetInt("io-timeout-ms", 0));
   return jxp::RunDriver(config);
 }

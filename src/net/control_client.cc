@@ -87,6 +87,46 @@ Status ControlClient::Meet(uint32_t partner_id, uint16_t port, MeetResultMessage
   return ParseMeetResult(payload, out);
 }
 
+Status ControlClient::AckRoundTrip(NetMessageType request_type,
+                                   NetMessageType reply_type, const char* what) {
+  std::vector<uint8_t> request;
+  AppendEmpty(request_type, request);
+  std::vector<uint8_t> payload;
+  if (Status status = RoundTrip(request, reply_type, &payload); !status.ok()) {
+    return status;
+  }
+  AckMessage ack;
+  if (Status status = ParseAck(payload, &ack); !status.ok()) return status;
+  if (!ack.ok) return Status::Internal(std::string(what) + " failed: " + ack.detail);
+  return Status::OK();
+}
+
+Status ControlClient::StartScheduler() {
+  return AckRoundTrip(NetMessageType::kStartRequest, NetMessageType::kStartReply,
+                      "start");
+}
+
+Status ControlClient::PauseScheduler() {
+  return AckRoundTrip(NetMessageType::kPauseRequest, NetMessageType::kPauseReply,
+                      "pause");
+}
+
+Status ControlClient::Drain() {
+  return AckRoundTrip(NetMessageType::kDrainRequest, NetMessageType::kDrainReply,
+                      "drain");
+}
+
+Status ControlClient::GetNetStats(NetStatsReplyMessage* out) {
+  std::vector<uint8_t> request;
+  AppendEmpty(NetMessageType::kNetStatsRequest, request);
+  std::vector<uint8_t> payload;
+  if (Status status = RoundTrip(request, NetMessageType::kNetStatsReply, &payload);
+      !status.ok()) {
+    return status;
+  }
+  return ParseNetStatsReply(payload, out);
+}
+
 Status ControlClient::GetScores(ScoresReplyMessage* out) {
   std::vector<uint8_t> request;
   AppendEmpty(NetMessageType::kScoresRequest, request);

@@ -37,12 +37,25 @@ class ControlClient {
   Status Meet(uint32_t partner_id, uint16_t port, MeetResultMessage* out);
   /// Dumps the daemon's local scores as exact doubles.
   Status GetScores(ScoresReplyMessage* out);
+  /// Autonomous mode: starts (or resumes) the daemon's meeting scheduler.
+  Status StartScheduler();
+  /// Pauses the scheduler; pooled connections stay warm, inbound meetings
+  /// still accepted.
+  Status PauseScheduler();
+  /// Drain-and-quiesce: terminal scheduler stop + quiesce + pool close.
+  /// The daemon still answers control traffic afterwards.
+  Status Drain();
+  /// Dumps connection/meeting/pool/scheduler counters.
+  Status GetNetStats(NetStatsReplyMessage* out);
 
  private:
   /// Sends `request` (complete frames) and reads one reply frame, checking
   /// its type byte against `expect`.
   Status RoundTrip(const std::vector<uint8_t>& request, NetMessageType expect,
                    std::vector<uint8_t>* payload);
+  /// Empty-payload request -> Ack reply, failing on a negative ack.
+  Status AckRoundTrip(NetMessageType request_type, NetMessageType reply_type,
+                      const char* what);
 
   UniqueFd fd_;
 };

@@ -137,6 +137,42 @@ void AppendAck(NetMessageType type, const AckMessage& msg, std::vector<uint8_t>&
   Seal(type, payload, out);
 }
 
+void AppendNetStatsReply(const NetStatsReplyMessage& msg, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(payload);
+  writer.PutVarint32(msg.peer_id);
+  writer.PutVarint64(msg.accepts);
+  writer.PutVarint64(msg.dials);
+  writer.PutVarint64(msg.dial_failures);
+  writer.PutVarint64(msg.meetings_initiated);
+  writer.PutVarint64(msg.meetings_accepted);
+  writer.PutVarint64(msg.meetings_declined);
+  writer.PutVarint64(msg.meeting_failures);
+  writer.PutVarint64(msg.truncations_detected);
+  writer.PutVarint64(msg.corruptions_detected);
+  writer.PutVarint64(msg.bytes_sent);
+  writer.PutVarint64(msg.bytes_received);
+  writer.PutVarint64(msg.wasted_bytes);
+  writer.PutVarint64(msg.pool_reuses);
+  writer.PutVarint64(msg.pool_half_open);
+  writer.PutVarint64(msg.pool_redials);
+  writer.PutVarint64(msg.pool_evictions_idle);
+  writer.PutVarint64(msg.pool_evictions_lru);
+  writer.PutVarint64(msg.pool_busy_rejections);
+  writer.PutVarint64(msg.pool_open_connections);
+  writer.PutU8(msg.scheduler_state);
+  writer.PutVarint64(msg.sched_ticks);
+  writer.PutVarint64(msg.sched_meetings_started);
+  writer.PutVarint64(msg.sched_meetings_applied);
+  writer.PutVarint64(msg.sched_declines);
+  writer.PutVarint64(msg.sched_failures);
+  writer.PutVarint64(msg.sched_busy);
+  writer.PutVarint64(msg.sched_skips_no_partner);
+  writer.PutVarint64(msg.sched_skips_backoff);
+  writer.PutVarint64(msg.sched_backoffs_armed);
+  Seal(NetMessageType::kNetStatsReply, payload, out);
+}
+
 Status ParseHello(std::span<const uint8_t> payload, HelloMessage* out) {
   ByteReader reader(payload);
   uint32_t port = 0;
@@ -262,6 +298,40 @@ Status ParseAck(std::span<const uint8_t> payload, AckMessage* out) {
   out->ok = ok != 0;
   out->detail.assign(reinterpret_cast<const char*>(payload.data()) + reader.position(),
                      len);
+  return Status::OK();
+}
+
+Status ParseNetStatsReply(std::span<const uint8_t> payload, NetStatsReplyMessage* out) {
+  ByteReader reader(payload);
+  if (!reader.GetVarint32(&out->peer_id) || !reader.GetVarint64(&out->accepts) ||
+      !reader.GetVarint64(&out->dials) || !reader.GetVarint64(&out->dial_failures) ||
+      !reader.GetVarint64(&out->meetings_initiated) ||
+      !reader.GetVarint64(&out->meetings_accepted) ||
+      !reader.GetVarint64(&out->meetings_declined) ||
+      !reader.GetVarint64(&out->meeting_failures) ||
+      !reader.GetVarint64(&out->truncations_detected) ||
+      !reader.GetVarint64(&out->corruptions_detected) ||
+      !reader.GetVarint64(&out->bytes_sent) ||
+      !reader.GetVarint64(&out->bytes_received) ||
+      !reader.GetVarint64(&out->wasted_bytes) ||
+      !reader.GetVarint64(&out->pool_reuses) ||
+      !reader.GetVarint64(&out->pool_half_open) ||
+      !reader.GetVarint64(&out->pool_redials) ||
+      !reader.GetVarint64(&out->pool_evictions_idle) ||
+      !reader.GetVarint64(&out->pool_evictions_lru) ||
+      !reader.GetVarint64(&out->pool_busy_rejections) ||
+      !reader.GetVarint64(&out->pool_open_connections) ||
+      !reader.GetU8(&out->scheduler_state) || !reader.GetVarint64(&out->sched_ticks) ||
+      !reader.GetVarint64(&out->sched_meetings_started) ||
+      !reader.GetVarint64(&out->sched_meetings_applied) ||
+      !reader.GetVarint64(&out->sched_declines) ||
+      !reader.GetVarint64(&out->sched_failures) ||
+      !reader.GetVarint64(&out->sched_busy) ||
+      !reader.GetVarint64(&out->sched_skips_no_partner) ||
+      !reader.GetVarint64(&out->sched_skips_backoff) ||
+      !reader.GetVarint64(&out->sched_backoffs_armed) || !reader.AtEnd()) {
+    return Malformed("net stats reply");
+  }
   return Status::OK();
 }
 

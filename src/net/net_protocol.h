@@ -46,6 +46,19 @@ enum class NetMessageType : uint8_t {
   kMeetResult = 0x27,
   kScoresRequest = 0x28,      // Dump local scores (exact doubles).
   kScoresReply = 0x29,
+
+  // Autonomous-mode control (DESIGN.md §6l). Start/pause flip the meeting
+  // scheduler's state machine; drain is terminal: scheduler drained, daemon
+  // quiesced, pooled connections closed — the daemon keeps answering
+  // control traffic but will never meet again.
+  kStartRequest = 0x2a,
+  kStartReply = 0x2b,
+  kPauseRequest = 0x2c,
+  kPauseReply = 0x2d,
+  kDrainRequest = 0x2e,
+  kDrainReply = 0x2f,
+  kNetStatsRequest = 0x30,    // Dump DaemonStats + pool + scheduler counters.
+  kNetStatsReply = 0x31,
 };
 
 /// First frame each side sends on a daemon<->daemon connection.
@@ -122,10 +135,51 @@ struct ScoresReplyMessage {
   double world_score = 0;
 };
 
-/// Generic ack payload for checkpoint/quiesce replies.
+/// Generic ack payload for checkpoint/quiesce/start/pause/drain replies.
 struct AckMessage {
   bool ok = false;
   std::string detail;
+};
+
+/// Full network-activity accounting of one daemon: connection, meeting,
+/// pool, and scheduler counters (the fig04-analogue driver samples these to
+/// report meetings/sec and dials-vs-reuses). Mirrors DaemonStats +
+/// ConnectionPoolStats + MeetingSchedulerStats; every field rides as a
+/// varint64 in declaration order, so extending it means appending.
+struct NetStatsReplyMessage {
+  uint32_t peer_id = 0;
+  // DaemonStats.
+  uint64_t accepts = 0;
+  uint64_t dials = 0;
+  uint64_t dial_failures = 0;
+  uint64_t meetings_initiated = 0;
+  uint64_t meetings_accepted = 0;
+  uint64_t meetings_declined = 0;
+  uint64_t meeting_failures = 0;
+  uint64_t truncations_detected = 0;
+  uint64_t corruptions_detected = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t wasted_bytes = 0;
+  // ConnectionPoolStats.
+  uint64_t pool_reuses = 0;
+  uint64_t pool_half_open = 0;
+  uint64_t pool_redials = 0;
+  uint64_t pool_evictions_idle = 0;
+  uint64_t pool_evictions_lru = 0;
+  uint64_t pool_busy_rejections = 0;
+  uint64_t pool_open_connections = 0;
+  // MeetingSchedulerStats (all zero when autonomous mode is off).
+  uint8_t scheduler_state = 0;  // SchedulerState as its wire byte.
+  uint64_t sched_ticks = 0;
+  uint64_t sched_meetings_started = 0;
+  uint64_t sched_meetings_applied = 0;
+  uint64_t sched_declines = 0;
+  uint64_t sched_failures = 0;
+  uint64_t sched_busy = 0;
+  uint64_t sched_skips_no_partner = 0;
+  uint64_t sched_skips_backoff = 0;
+  uint64_t sched_backoffs_armed = 0;
 };
 
 /// Encoders append one complete frame (header + payload) to `out`.
@@ -141,6 +195,7 @@ void AppendMeetResult(const MeetResultMessage& msg, std::vector<uint8_t>& out);
 void AppendStatusReply(const StatusReplyMessage& msg, std::vector<uint8_t>& out);
 void AppendScoresReply(const ScoresReplyMessage& msg, std::vector<uint8_t>& out);
 void AppendAck(NetMessageType type, const AckMessage& msg, std::vector<uint8_t>& out);
+void AppendNetStatsReply(const NetStatsReplyMessage& msg, std::vector<uint8_t>& out);
 
 /// Decoders parse a frame *payload* (the frame layer already verified the
 /// checksum). InvalidArgument on malformed payloads.
@@ -153,6 +208,7 @@ Status ParseMeetResult(std::span<const uint8_t> payload, MeetResultMessage* out)
 Status ParseStatusReply(std::span<const uint8_t> payload, StatusReplyMessage* out);
 Status ParseScoresReply(std::span<const uint8_t> payload, ScoresReplyMessage* out);
 Status ParseAck(std::span<const uint8_t> payload, AckMessage* out);
+Status ParseNetStatsReply(std::span<const uint8_t> payload, NetStatsReplyMessage* out);
 
 /// Blocking request/response helpers for control clients (driver side).
 /// ReadFrameBlocking reads one full frame off a blocking socket, verifies

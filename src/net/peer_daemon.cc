@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <poll.h>
+#include <signal.h>
 #include <string.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
@@ -39,6 +40,21 @@ struct NetMetrics {
   obs::Counter checkpoints;
   obs::Counter protocol_errors;
   obs::Gauge directory_peers;
+  // Connection-pool lifecycle (ConnectionPoolStats, synced by delta).
+  obs::Counter pool_reuses;
+  obs::Counter pool_half_open;
+  obs::Counter pool_redials;
+  obs::Counter pool_evictions_idle;
+  obs::Counter pool_evictions_lru;
+  obs::Counter pool_busy_rejections;
+  obs::Counter pool_released_broken;
+  obs::Gauge pool_open_connections;
+  // Autonomous scheduler (MeetingSchedulerStats, synced by delta).
+  obs::Counter sched_ticks;
+  obs::Counter sched_meetings_started;
+  obs::Counter sched_skips_no_partner;
+  obs::Counter sched_skips_backoff;
+  obs::Counter sched_backoffs_armed;
 };
 
 NetMetrics& GetNetMetrics() {
@@ -62,6 +78,19 @@ NetMetrics& GetNetMetrics() {
     m->checkpoints = reg.GetCounter("jxp.net.checkpoints");
     m->protocol_errors = reg.GetCounter("jxp.net.protocol_errors");
     m->directory_peers = reg.GetGauge("jxp.net.directory_peers");
+    m->pool_reuses = reg.GetCounter("jxp.net.pool_reuses");
+    m->pool_half_open = reg.GetCounter("jxp.net.pool_half_open");
+    m->pool_redials = reg.GetCounter("jxp.net.pool_redials");
+    m->pool_evictions_idle = reg.GetCounter("jxp.net.pool_evictions_idle");
+    m->pool_evictions_lru = reg.GetCounter("jxp.net.pool_evictions_lru");
+    m->pool_busy_rejections = reg.GetCounter("jxp.net.pool_busy_rejections");
+    m->pool_released_broken = reg.GetCounter("jxp.net.pool_released_broken");
+    m->pool_open_connections = reg.GetGauge("jxp.net.pool_open_connections");
+    m->sched_ticks = reg.GetCounter("jxp.net.sched_ticks");
+    m->sched_meetings_started = reg.GetCounter("jxp.net.sched_meetings_started");
+    m->sched_skips_no_partner = reg.GetCounter("jxp.net.sched_skips_no_partner");
+    m->sched_skips_backoff = reg.GetCounter("jxp.net.sched_skips_backoff");
+    m->sched_backoffs_armed = reg.GetCounter("jxp.net.sched_backoffs_armed");
     return m;
   }();
   return *metrics;
@@ -119,6 +148,11 @@ PeerDaemon::~PeerDaemon() {
 
 Status PeerDaemon::Start(EventLoop* loop) {
   loop_ = loop;
+  // Pooled connections make write-after-peer-close an ordinary event (a
+  // dial collision resolves as one side's timeout + close, and the other
+  // side may still be replying into it). Surface that as EPIPE through the
+  // Status paths instead of process death.
+  ::signal(SIGPIPE, SIG_IGN);
   if (Status status =
           CreateLoopbackListener(options_.listen_port, &listener_, &bound_port_);
       !status.ok()) {
@@ -141,22 +175,121 @@ Status PeerDaemon::Start(EventLoop* loop) {
       return status;
     }
   }
-  ArmMeetTimer();
+  pool_ = std::make_unique<ConnectionPool>(options_.pool,
+                                           [this] { return loop_->NowMs(); });
+  if (options_.scheduler.enabled) {
+    // The scheduler gets its own Random stream, derived from (not equal to)
+    // the daemon seed so partner draws don't entangle with gossip sampling.
+    scheduler_ = std::make_unique<MeetingScheduler>(
+        loop_, &directory_, options_.scheduler,
+        options_.rng_seed * 0x9e3779b97f4a7c15ULL + 1,
+        [this](const PeerDirectory::Entry& partner) {
+          if (quiesced_) {
+            // Quiesce without drain: stop initiating too. kStartRequest
+            // resumes the cadence if the driver un-drains by restarting.
+            scheduler_->Pause();
+            return MeetOutcome::kBusy;
+          }
+          MeetOutcome outcome = MeetOutcome::kFailed;
+          (void)MeetPeerClassified(partner.peer_id, partner.port, &outcome);
+          return outcome;
+        });
+    if (options_.scheduler.autostart) scheduler_->Start();
+  }
   ArmGossipTimer();
+  ArmPoolSweepTimer();
   return Status::OK();
 }
 
-void PeerDaemon::ArmMeetTimer() {
-  if (options_.meet_interval_ms == 0) return;
-  loop_->AddTimer(options_.meet_interval_ms, [this] {
-    if (!quiesced_) {
-      PeerDirectory::Entry partner;
-      if (directory_.SelectPartner(rng_, &partner)) {
-        MeetPeer(partner.peer_id, partner.port);
-      }
-    }
-    ArmMeetTimer();
+void PeerDaemon::ArmPoolSweepTimer() {
+  if (options_.pool.idle_timeout_ms == 0) return;
+  const uint64_t period = std::max<uint64_t>(options_.pool.idle_timeout_ms / 2, 1);
+  loop_->AddTimer(period, [this] {
+    if (pool_->SweepIdle() > 0) SyncNetMetrics();
+    ArmPoolSweepTimer();
   });
+}
+
+void PeerDaemon::SyncNetMetrics() {
+  const ConnectionPoolStats& pool_stats = pool_->stats();
+  // The pool is the only dialer, so the daemon's dial counters are views of
+  // the pool's (goodbye connects were never counted, as before).
+  stats_.dials = pool_stats.dials;
+  stats_.dial_failures = pool_stats.dial_failures;
+  if (obs::Enabled()) {
+    NetMetrics& metrics = GetNetMetrics();
+    auto bump = [](obs::Counter& counter, uint64_t now, uint64_t prev) {
+      if (now > prev) counter.Increment(now - prev);
+    };
+    bump(metrics.dials, pool_stats.dials, pool_synced_.dials);
+    bump(metrics.dial_failures, pool_stats.dial_failures, pool_synced_.dial_failures);
+    bump(metrics.pool_reuses, pool_stats.reuses, pool_synced_.reuses);
+    bump(metrics.pool_half_open, pool_stats.half_open_detected,
+         pool_synced_.half_open_detected);
+    bump(metrics.pool_redials, pool_stats.redials, pool_synced_.redials);
+    bump(metrics.pool_evictions_idle, pool_stats.evictions_idle,
+         pool_synced_.evictions_idle);
+    bump(metrics.pool_evictions_lru, pool_stats.evictions_lru,
+         pool_synced_.evictions_lru);
+    bump(metrics.pool_busy_rejections, pool_stats.busy_rejections,
+         pool_synced_.busy_rejections);
+    bump(metrics.pool_released_broken, pool_stats.released_broken,
+         pool_synced_.released_broken);
+    metrics.pool_open_connections.Set(static_cast<double>(pool_->open_connections()));
+    if (scheduler_ != nullptr) {
+      const MeetingSchedulerStats& sched = scheduler_->stats();
+      bump(metrics.sched_ticks, sched.ticks, sched_synced_.ticks);
+      bump(metrics.sched_meetings_started, sched.meetings_started,
+           sched_synced_.meetings_started);
+      bump(metrics.sched_skips_no_partner, sched.skips_no_partner,
+           sched_synced_.skips_no_partner);
+      bump(metrics.sched_skips_backoff, sched.skips_backoff,
+           sched_synced_.skips_backoff);
+      bump(metrics.sched_backoffs_armed, sched.backoffs_armed,
+           sched_synced_.backoffs_armed);
+    }
+  }
+  pool_synced_ = pool_stats;
+  if (scheduler_ != nullptr) sched_synced_ = scheduler_->stats();
+}
+
+NetStatsReplyMessage PeerDaemon::BuildNetStats() const {
+  NetStatsReplyMessage reply;
+  reply.peer_id = static_cast<uint32_t>(peer_->id());
+  reply.accepts = stats_.accepts;
+  const ConnectionPoolStats& pool_stats = pool_->stats();
+  reply.dials = pool_stats.dials;
+  reply.dial_failures = pool_stats.dial_failures;
+  reply.meetings_initiated = stats_.meetings_initiated;
+  reply.meetings_accepted = stats_.meetings_accepted;
+  reply.meetings_declined = stats_.meetings_declined;
+  reply.meeting_failures = stats_.meeting_failures;
+  reply.truncations_detected = stats_.truncations_detected;
+  reply.corruptions_detected = stats_.corruptions_detected;
+  reply.bytes_sent = stats_.bytes_sent;
+  reply.bytes_received = stats_.bytes_received;
+  reply.wasted_bytes = stats_.wasted_bytes;
+  reply.pool_reuses = pool_stats.reuses;
+  reply.pool_half_open = pool_stats.half_open_detected;
+  reply.pool_redials = pool_stats.redials;
+  reply.pool_evictions_idle = pool_stats.evictions_idle;
+  reply.pool_evictions_lru = pool_stats.evictions_lru;
+  reply.pool_busy_rejections = pool_stats.busy_rejections;
+  reply.pool_open_connections = pool_->open_connections();
+  if (scheduler_ != nullptr) {
+    reply.scheduler_state = static_cast<uint8_t>(scheduler_->state());
+    const MeetingSchedulerStats& sched = scheduler_->stats();
+    reply.sched_ticks = sched.ticks;
+    reply.sched_meetings_started = sched.meetings_started;
+    reply.sched_meetings_applied = sched.meetings_applied;
+    reply.sched_declines = sched.declines;
+    reply.sched_failures = sched.failures;
+    reply.sched_busy = sched.busy;
+    reply.sched_skips_no_partner = sched.skips_no_partner;
+    reply.sched_skips_backoff = sched.skips_backoff;
+    reply.sched_backoffs_armed = sched.backoffs_armed;
+  }
+  return reply;
 }
 
 void PeerDaemon::ArmGossipTimer() {
@@ -341,6 +474,53 @@ bool PeerDaemon::HandleFrame(Connection& conn, uint8_t type,
       AppendMeetResult(result, out);
       return SendBytes(conn.fd.get(), out).ok();
     }
+    case NetMessageType::kStartRequest: {
+      AckMessage ack;
+      if (scheduler_ == nullptr) {
+        ack.detail = "autonomous mode disabled";
+      } else if (scheduler_->state() == SchedulerState::kDrained) {
+        ack.detail = "scheduler drained";
+      } else {
+        quiesced_ = false;  // Start after a pause-by-quiesce resumes fully.
+        scheduler_->Start();
+        ack.ok = true;
+      }
+      std::vector<uint8_t> out;
+      AppendAck(NetMessageType::kStartReply, ack, out);
+      return SendBytes(conn.fd.get(), out).ok();
+    }
+    case NetMessageType::kPauseRequest: {
+      AckMessage ack;
+      if (scheduler_ == nullptr) {
+        ack.detail = "autonomous mode disabled";
+      } else if (scheduler_->state() == SchedulerState::kDrained) {
+        ack.detail = "scheduler drained";
+      } else {
+        scheduler_->Pause();
+        ack.ok = true;
+      }
+      std::vector<uint8_t> out;
+      AppendAck(NetMessageType::kPauseReply, ack, out);
+      return SendBytes(conn.fd.get(), out).ok();
+    }
+    case NetMessageType::kDrainRequest: {
+      // Drain-and-quiesce: terminal scheduler stop, inbound meetings
+      // decline, warm connections close. Control traffic keeps working.
+      if (scheduler_ != nullptr) scheduler_->Drain();
+      quiesced_ = true;
+      pool_->CloseAll();
+      SyncNetMetrics();
+      AckMessage ack;
+      ack.ok = true;
+      std::vector<uint8_t> out;
+      AppendAck(NetMessageType::kDrainReply, ack, out);
+      return SendBytes(conn.fd.get(), out).ok();
+    }
+    case NetMessageType::kNetStatsRequest: {
+      std::vector<uint8_t> out;
+      AppendNetStatsReply(BuildNetStats(), out);
+      return SendBytes(conn.fd.get(), out).ok();
+    }
     default:
       break;
   }
@@ -436,64 +616,127 @@ Status PeerDaemon::SendBytes(int fd, std::span<const uint8_t> data) {
 }
 
 MeetResultMessage PeerDaemon::MeetPeer(uint32_t partner_id, uint16_t port) {
+  MeetOutcome outcome = MeetOutcome::kFailed;
+  return MeetPeerClassified(partner_id, port, &outcome);
+}
+
+MeetResultMessage PeerDaemon::MeetPeerClassified(uint32_t partner_id, uint16_t port,
+                                                 MeetOutcome* outcome) {
   MeetResultMessage result;
+  *outcome = MeetOutcome::kFailed;
   ++stats_.meetings_initiated;
-  ++stats_.dials;
-  if (obs::Enabled()) {
-    NetMetrics& metrics = GetNetMetrics();
-    metrics.meetings_initiated.Increment();
-    metrics.dials.Increment();
-  }
-  UniqueFd fd;
-  if (!ConnectLoopback(port, &fd).ok()) {
-    ++stats_.dial_failures;
-    ++stats_.meeting_failures;
-    if (obs::Enabled()) {
-      GetNetMetrics().dial_failures.Increment();
-      GetNetMetrics().meeting_failures.Increment();
+  if (obs::Enabled()) GetNetMetrics().meetings_initiated.Increment();
+
+  int fd = -1;
+  bool reused = false;
+  if (Status acquired = pool_->Acquire(port, &fd, &reused); !acquired.ok()) {
+    if (acquired.code() == StatusCode::kFailedPrecondition) {
+      // Connection at its in-flight limit: flow control, not a failure.
+      *outcome = MeetOutcome::kBusy;
+    } else {
+      ++stats_.meeting_failures;
+      if (obs::Enabled()) GetNetMetrics().meeting_failures.Increment();
+      *outcome = MeetOutcome::kDialFailed;
     }
+    SyncNetMetrics();
     return result;
   }
-  SetIoTimeouts(fd.get(), options_.io_timeout_ms);
+  if (!reused) SetIoTimeouts(fd, options_.io_timeout_ms);
 
+  (void)partner_id;  // The wire identifies the partner; the id is for logs.
+  bool retryable = false;
+  bool healthy = RunMeetingOnConnection(fd, !reused, port, &result, &retryable);
+  if (!healthy && retryable) {
+    // The pooled connection died while idle and the peek missed it (race:
+    // peer closed between peek and write). Nothing of this meeting reached
+    // the peer, so one transparent replacement dial is safe.
+    pool_->Release(port, /*healthy=*/false);
+    pool_->NoteRedial();
+    if (Status redialed = pool_->Acquire(port, &fd, &reused); !redialed.ok()) {
+      ++stats_.meeting_failures;
+      if (obs::Enabled()) GetNetMetrics().meeting_failures.Increment();
+      *outcome = MeetOutcome::kDialFailed;
+      SyncNetMetrics();
+      return result;
+    }
+    if (!reused) SetIoTimeouts(fd, options_.io_timeout_ms);
+    healthy = RunMeetingOnConnection(fd, !reused, port, &result, &retryable);
+  }
+  pool_->Release(port, healthy);
+
+  if (result.declined) {
+    *outcome = MeetOutcome::kDeclined;
+  } else if (result.applied) {
+    *outcome = MeetOutcome::kApplied;
+  } else {
+    *outcome = MeetOutcome::kFailed;
+  }
+  SyncNetMetrics();
+  return result;
+}
+
+bool PeerDaemon::RunMeetingOnConnection(int fd, bool fresh, uint16_t port,
+                                        MeetResultMessage* result, bool* retryable) {
+  *retryable = false;
   // Encode before any exchange: the initiator's message is a snapshot of
   // its pre-meeting state (simultaneous-exchange semantics).
   const std::vector<uint8_t> message = peer_->EncodeMeetingBytes();
   std::vector<uint8_t> frames;
-  HelloMessage hello;
-  hello.peer_id = static_cast<uint32_t>(peer_->id());
-  hello.listen_port = advertised_port();
-  AppendHello(hello, frames);
+  if (fresh) {
+    // Hello only once per connection; on reuse the responder already knows
+    // who we are.
+    HelloMessage hello;
+    hello.peer_id = static_cast<uint32_t>(peer_->id());
+    hello.listen_port = advertised_port();
+    AppendHello(hello, frames);
+  }
   MeetingHeader offer;
-  offer.sender_id = hello.peer_id;
+  offer.sender_id = static_cast<uint32_t>(peer_->id());
   offer.payload_bytes = static_cast<uint32_t>(message.size());
   AppendMeetingHeader(NetMessageType::kMeetingOffer, offer, frames);
-  if (!WriteAll(fd.get(), frames).ok() || !WriteAll(fd.get(), message).ok()) {
+  if (!WriteAll(fd, frames).ok()) {
+    // Before the blob starts, the responder can at worst salvage an empty
+    // prefix — nothing committed. On a reused connection this is the
+    // peek-missed-the-close race: let the caller re-dial silently instead
+    // of charging a meeting failure.
+    if (!fresh) {
+      *retryable = true;
+    } else {
+      ++stats_.meeting_failures;
+      if (obs::Enabled()) GetNetMetrics().meeting_failures.Increment();
+    }
+    return false;
+  }
+  if (!WriteAll(fd, message).ok()) {
+    // The blob was cut mid-stream: the responder may salvage and APPLY a
+    // prefix, so this meeting is committed — never retried.
     ++stats_.meeting_failures;
     if (obs::Enabled()) GetNetMetrics().meeting_failures.Increment();
-    return result;
+    return false;
   }
   const uint64_t sent = frames.size() + message.size();
-  result.bytes_sent = sent;
+  result->bytes_sent += sent;
   stats_.bytes_sent += sent;
   if (obs::Enabled()) GetNetMetrics().bytes_sent.Increment(sent);
 
   uint8_t type = 0;
   std::vector<uint8_t> payload;
-  if (!ReadFrameBlocking(fd.get(), &type, &payload).ok()) {
+  if (!ReadFrameBlocking(fd, &type, &payload).ok()) {
     // The transfer (or the proxy) died before any reply frame — our own
     // message may have been cut; the responder does the salvaging.
     ++stats_.meeting_failures;
     if (obs::Enabled()) GetNetMetrics().meeting_failures.Increment();
-    return result;
+    return false;
   }
   stats_.bytes_received += wire::kFrameHeaderBytes + payload.size();
   if (obs::Enabled()) {
     GetNetMetrics().bytes_received.Increment(wire::kFrameHeaderBytes + payload.size());
   }
   if (static_cast<NetMessageType>(type) == NetMessageType::kMeetingDecline) {
-    result.declined = true;
-    return result;
+    // The responder consumed our blob before declining; the stream is
+    // aligned and the connection stays poolable.
+    result->declined = true;
+    return true;
   }
   MeetingHeader reply;
   if (static_cast<NetMessageType>(type) != NetMessageType::kMeetingReply ||
@@ -504,13 +747,13 @@ MeetResultMessage PeerDaemon::MeetPeer(uint32_t partner_id, uint16_t port) {
       GetNetMetrics().protocol_errors.Increment();
       GetNetMetrics().meeting_failures.Increment();
     }
-    return result;
+    return false;
   }
   directory_.ObserveDirect(reply.sender_id, port, loop_->NowMs());
 
   std::vector<uint8_t> blob;
-  const size_t received = ReadUpTo(fd.get(), reply.payload_bytes, &blob);
-  result.bytes_received = received;
+  const size_t received = ReadUpTo(fd, reply.payload_bytes, &blob);
+  result->bytes_received += received;
   stats_.bytes_received += received;
   if (obs::Enabled()) GetNetMetrics().bytes_received.Increment(received);
   const bool complete = received == reply.payload_bytes;
@@ -519,64 +762,73 @@ MeetResultMessage PeerDaemon::MeetPeer(uint32_t partner_id, uint16_t port) {
     if (obs::Enabled()) GetNetMetrics().truncations_detected.Increment();
   }
   const core::RemoteMeetingApply applied = peer_->ApplyMeetingBytes(blob);
-  result.applied = applied.applied;
-  result.salvaged = applied.salvaged || !complete;
+  result->applied = applied.applied;
+  result->salvaged = applied.salvaged || !complete;
   if (complete && (!applied.applied || applied.salvaged)) {
     ++stats_.corruptions_detected;
     if (obs::Enabled()) GetNetMetrics().corruptions_detected.Increment();
   }
-  result.bytes_wasted = received - applied.bytes_consumed;
-  stats_.wasted_bytes += result.bytes_wasted;
-  if (obs::Enabled() && result.bytes_wasted > 0) {
-    GetNetMetrics().wasted_bytes.Increment(result.bytes_wasted);
+  result->bytes_wasted = received - applied.bytes_consumed;
+  stats_.wasted_bytes += result->bytes_wasted;
+  if (obs::Enabled() && result->bytes_wasted > 0) {
+    GetNetMetrics().wasted_bytes.Increment(result->bytes_wasted);
   }
-  return result;
+  // A short blob means the connection died mid-reply; a complete one (even
+  // bit-damaged — that's the payload's problem, not the stream's) leaves
+  // the stream aligned for the next meeting.
+  return complete;
 }
 
 void PeerDaemon::GossipOnce() {
   PeerDirectory::Entry partner;
   if (!directory_.SelectPartner(rng_, &partner)) return;
-  ++stats_.dials;
-  if (obs::Enabled()) GetNetMetrics().dials.Increment();
-  UniqueFd fd;
-  if (!ConnectLoopback(partner.port, &fd).ok()) {
-    ++stats_.dial_failures;
-    if (obs::Enabled()) GetNetMetrics().dial_failures.Increment();
+  int fd = -1;
+  bool reused = false;
+  if (Status acquired = pool_->Acquire(partner.port, &fd, &reused); !acquired.ok()) {
+    SyncNetMetrics();
+    // Busy = a meeting is on the wire to this partner right now; gossip
+    // just waits for its next tick.
+    if (acquired.code() == StatusCode::kFailedPrecondition) return;
     // An unreachable peer is evidence of departure; the tombstone keeps
     // gossip from re-suggesting it until it reappears first-hand.
     directory_.MarkDeparted(partner.peer_id, loop_->NowMs());
     UpdateDirectoryGauge();
     return;
   }
-  SetIoTimeouts(fd.get(), options_.io_timeout_ms);
+  if (!reused) SetIoTimeouts(fd, options_.io_timeout_ms);
   const uint64_t now = loop_->NowMs();
   std::vector<uint8_t> frames;
-  HelloMessage hello;
-  hello.peer_id = static_cast<uint32_t>(peer_->id());
-  hello.listen_port = advertised_port();
-  AppendHello(hello, frames);
+  if (!reused) {
+    HelloMessage hello;
+    hello.peer_id = static_cast<uint32_t>(peer_->id());
+    hello.listen_port = advertised_port();
+    AppendHello(hello, frames);
+  }
   PeerExchangeMessage exchange;
   exchange.entries = directory_.GossipSample(now, 16, rng_);
   AppendPeerExchange(exchange, frames);
-  if (!WriteAll(fd.get(), frames).ok()) return;
-  stats_.bytes_sent += frames.size();
-  if (obs::Enabled()) GetNetMetrics().bytes_sent.Increment(frames.size());
-
+  bool healthy = false;
   uint8_t type = 0;
   std::vector<uint8_t> payload;
-  if (!ReadFrameBlocking(fd.get(), &type, &payload).ok()) return;
   PeerExchangeMessage reply;
-  if (static_cast<NetMessageType>(type) != NetMessageType::kPeerExchange ||
-      !ParsePeerExchange(payload, &reply).ok()) {
-    return;
+  if (WriteAll(fd, frames).ok()) {
+    stats_.bytes_sent += frames.size();
+    if (obs::Enabled()) GetNetMetrics().bytes_sent.Increment(frames.size());
+    if (ReadFrameBlocking(fd, &type, &payload).ok() &&
+        static_cast<NetMessageType>(type) == NetMessageType::kPeerExchange &&
+        ParsePeerExchange(payload, &reply).ok()) {
+      healthy = true;
+      stats_.bytes_received += wire::kFrameHeaderBytes + payload.size();
+      for (const GossipEntry& entry : reply.entries) {
+        directory_.ObserveGossip(entry, loop_->NowMs());
+      }
+      ++stats_.gossip_exchanges;
+      if (obs::Enabled()) GetNetMetrics().gossip_exchanges.Increment();
+      UpdateDirectoryGauge();
+    }
   }
-  stats_.bytes_received += wire::kFrameHeaderBytes + payload.size();
-  for (const GossipEntry& entry : reply.entries) {
-    directory_.ObserveGossip(entry, loop_->NowMs());
-  }
-  ++stats_.gossip_exchanges;
-  if (obs::Enabled()) GetNetMetrics().gossip_exchanges.Increment();
-  UpdateDirectoryGauge();
+  pool_->Release(partner.port, healthy);
+  SyncNetMetrics();
 }
 
 Status PeerDaemon::Checkpoint() {
@@ -605,6 +857,11 @@ void PeerDaemon::BeginShutdown() {
   // Quiesce first: meetings in flight on other connections decline from
   // here on, so the checkpoint below is the peer's final state.
   quiesced_ = true;
+  if (scheduler_ != nullptr) scheduler_->Drain();
+  if (pool_ != nullptr) {
+    pool_->CloseAll();
+    SyncNetMetrics();
+  }
   if (!options_.state_path.empty()) (void)Checkpoint();
   if (options_.goodbye_on_shutdown) {
     std::vector<uint8_t> goodbye;

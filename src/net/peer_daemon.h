@@ -11,7 +11,9 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "core/jxp_peer.h"
+#include "net/connection_pool.h"
 #include "net/event_loop.h"
+#include "net/meeting_scheduler.h"
 #include "net/net_protocol.h"
 #include "net/peer_directory.h"
 #include "net/socket_util.h"
@@ -32,9 +34,14 @@ struct PeerDaemonOptions {
   /// Checkpoint target of kCheckpointRequest and the SIGTERM path; empty =
   /// checkpointing disabled.
   std::string state_path;
-  /// Self-scheduled meeting cadence; 0 = meetings only on kMeetCommand
-  /// (the driver-replay mode the oracle comparison uses).
-  uint64_t meet_interval_ms = 0;
+  /// Autonomous meeting mode (DESIGN.md §6l). scheduler.enabled=false is
+  /// the driver-replay mode the oracle bit-identity comparison uses:
+  /// meetings happen only on kMeetCommand.
+  MeetingSchedulerOptions scheduler;
+  /// Outbound connection reuse (meetings + gossip share pooled connections
+  /// keyed by partner port). Always on — the pool with max_connections=0 is
+  /// not a supported configuration; use a large idle_timeout instead.
+  ConnectionPoolOptions pool;
   /// Gossip (kPeerExchange) cadence; 0 = off. Staleness eviction runs on
   /// the same tick.
   uint64_t gossip_interval_ms = 0;
@@ -59,7 +66,11 @@ struct PeerDaemonOptions {
 /// control protocol and tests can read them without a registry snapshot.
 struct DaemonStats {
   uint64_t accepts = 0;
+  /// Fresh outbound TCP connects (pool dials; reused meetings do not count).
   uint64_t dials = 0;
+  /// Fresh connects that failed. A pooled connection found dead between
+  /// meetings is NOT a dial failure — it lands in the pool's
+  /// half_open_detected/redials accounting (ConnectionPoolStats).
   uint64_t dial_failures = 0;
   uint64_t meetings_initiated = 0;
   uint64_t meetings_accepted = 0;
@@ -110,12 +121,18 @@ class PeerDaemon {
   /// here, after Start() but before the loop runs.
   void set_advertised_port(uint16_t port) { options_.advertised_port = port; }
 
-  /// One outbound meeting with the daemon at `port` (blocking dial with
-  /// io_timeout_ms). Both the kMeetCommand handler and the self-scheduled
-  /// meeting timer land here.
+  /// One outbound meeting with the daemon at `port`, over a pooled
+  /// connection (fresh dial only when none is pooled; blocking IO with
+  /// io_timeout_ms). Both the kMeetCommand handler and the autonomous
+  /// scheduler land here. A reused connection that turns out dead on the
+  /// first write is replaced by one transparent re-dial.
   MeetResultMessage MeetPeer(uint32_t partner_id, uint16_t port);
+  /// MeetPeer plus the scheduler's classification of what happened.
+  MeetResultMessage MeetPeerClassified(uint32_t partner_id, uint16_t port,
+                                       MeetOutcome* outcome);
 
-  /// One push-pull gossip exchange with a random live directory peer.
+  /// One push-pull gossip exchange with a random live directory peer, over
+  /// the same connection pool as meetings.
   void GossipOnce();
 
   void Quiesce() { quiesced_ = true; }
@@ -128,6 +145,9 @@ class PeerDaemon {
 
   const core::JxpPeer& peer() const { return *peer_; }
   const DaemonStats& stats() const { return stats_; }
+  /// Valid after Start(); scheduler() is null when autonomous mode is off.
+  const ConnectionPool& pool() const { return *pool_; }
+  const MeetingScheduler* scheduler() const { return scheduler_.get(); }
   const PeerDirectory& directory() const { return directory_; }
   PeerDirectory& directory() { return directory_; }
   StatusReplyMessage BuildStatus() const;
@@ -159,9 +179,20 @@ class PeerDaemon {
   /// io_timeout_ms; counts sent bytes.
   Status SendBytes(int fd, std::span<const uint8_t> data);
   void ApplyBlob(Connection& conn);
-  void ArmMeetTimer();
   void ArmGossipTimer();
+  void ArmPoolSweepTimer();
   void UpdateDirectoryGauge();
+  /// Pool + scheduler counters changed: push deltas into the jxp.net.*
+  /// metrics and refresh stats_.dials/dial_failures from the pool (the pool
+  /// is the only dialer now).
+  void SyncNetMetrics();
+  NetStatsReplyMessage BuildNetStats() const;
+  /// The guts of one outbound meeting over an already-acquired connection.
+  /// `fresh` = the fd came from a fresh dial (Hello still owed). Returns
+  /// false with *retryable=true only when nothing was committed to the
+  /// stream yet (reused fd dead on first write) — the caller may re-dial.
+  bool RunMeetingOnConnection(int fd, bool fresh, uint16_t port,
+                              MeetResultMessage* result, bool* retryable);
 
   std::unique_ptr<core::JxpPeer> peer_;
   PeerDaemonOptions options_;
@@ -172,6 +203,12 @@ class PeerDaemon {
   Random rng_;
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
   DaemonStats stats_;
+  std::unique_ptr<ConnectionPool> pool_;
+  std::unique_ptr<MeetingScheduler> scheduler_;
+  /// Last pool/scheduler counter snapshots already mirrored into metrics
+  /// (SyncNetMetrics adds only the deltas).
+  ConnectionPoolStats pool_synced_;
+  MeetingSchedulerStats sched_synced_;
   bool quiesced_ = false;
   bool shutdown_begun_ = false;
 };
